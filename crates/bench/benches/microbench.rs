@@ -1,0 +1,163 @@
+//! Criterion micro-benchmarks of the hot paths, plus an end-to-end
+//! simulated-second benchmark.
+//!
+//! ```text
+//! cargo bench -p scotch-bench
+//! ```
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use scotch::scenario::Scenario;
+use scotch_net::{FlowId, FlowKey, IpAddr, Packet, PortId};
+use scotch_openflow::{
+    Action, Bucket, FlowEntry, GroupEntry, Match, Pipeline, SelectionPolicy, TableId,
+};
+use scotch_sim::rate::FifoServer;
+use scotch_sim::{EventQueue, SimRng, SimTime};
+
+fn key(i: u32) -> FlowKey {
+    FlowKey::tcp(IpAddr(0x0a00_0000 + i), 1024, IpAddr::new(10, 0, 1, 1), 80)
+}
+
+fn bench_flow_table(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flow_table_lookup");
+    for n_rules in [16usize, 256, 2000] {
+        let mut pipeline = Pipeline::new(1, n_rules + 1);
+        for i in 0..n_rules as u32 {
+            pipeline
+                .table_mut(TableId(0))
+                .insert(
+                    SimTime::ZERO,
+                    FlowEntry::apply(
+                        Match::src_dst(key(i).src, key(i).dst),
+                        100,
+                        vec![Action::Output(PortId(1))],
+                    ),
+                )
+                .unwrap();
+        }
+        let pkt = Packet::flow_start(key(n_rules as u32 / 2), FlowId(1), SimTime::ZERO);
+        group.bench_with_input(BenchmarkId::from_parameter(n_rules), &n_rules, |b, _| {
+            b.iter(|| pipeline.process(SimTime::ZERO, black_box(&pkt), PortId(0)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_group_select(c: &mut Criterion) {
+    let mut table = scotch_openflow::GroupTable::new();
+    table.install(
+        scotch_openflow::GroupId(1),
+        GroupEntry::select(
+            SelectionPolicy::FlowHash,
+            (0..8)
+                .map(|i| Bucket::new(vec![Action::Output(PortId(i))]))
+                .collect(),
+        ),
+    );
+    let mut i = 0u32;
+    c.bench_function("group_select_hash_8_buckets", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            table.select(scotch_openflow::GroupId(1), black_box(&key(i)))
+        })
+    });
+}
+
+fn bench_flow_hash(c: &mut Criterion) {
+    let k = key(12345);
+    c.bench_function("flowkey_hash64", |b| b.iter(|| black_box(&k).hash64()));
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1000u64 {
+                q.push(SimTime::from_nanos((i * 7919) % 10_000), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, v)) = q.pop() {
+                sum += v;
+            }
+            black_box(sum)
+        })
+    });
+}
+
+fn bench_fifo_server(c: &mut Criterion) {
+    c.bench_function("fifo_server_offer", |b| {
+        let mut server = FifoServer::new(64);
+        let st = FifoServer::service_time(200.0);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1_000_000;
+            server.offer(SimTime::from_nanos(t), st)
+        })
+    });
+}
+
+fn bench_rng(c: &mut Criterion) {
+    let mut rng = SimRng::new(1);
+    c.bench_function("rng_bounded_pareto", |b| {
+        b.iter(|| rng.bounded_pareto(1.0, 100_000.0, 1.2))
+    });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    // One simulated second of the full Scotch data-center scenario under
+    // a 2000 flows/s flood: the throughput figure of the whole engine.
+    group.bench_function("simulated_second_ddos_2k", |b| {
+        b.iter(|| {
+            Scenario::overlay_datacenter(4)
+                .with_clients(100.0)
+                .with_attack(2_000.0)
+                .run(SimTime::from_secs(1), 42)
+                .events_processed
+        })
+    });
+    group.bench_function("simulated_second_baseline_quiet", |b| {
+        b.iter(|| {
+            Scenario::single_switch(scotch_switch::SwitchProfile::pica8_pronto_3780())
+                .with_clients(100.0)
+                .run(SimTime::from_secs(1), 42)
+                .events_processed
+        })
+    });
+    group.finish();
+}
+
+fn bench_wire_codec(c: &mut Criterion) {
+    use scotch_openflow::wire::{decode_message, encode_message, OfMessage};
+    use scotch_openflow::{ControllerToSwitch, FlowEntry, FlowModCommand, Instruction};
+    let entry = FlowEntry::new(
+        Match::exact(key(7)),
+        100,
+        vec![Instruction::Apply(vec![Action::Output(PortId(3))])],
+    );
+    let msg = OfMessage::ToSwitch(ControllerToSwitch::FlowMod {
+        table: TableId(0),
+        command: FlowModCommand::Add(entry),
+    });
+    let bytes = encode_message(&msg, 1).unwrap();
+    c.bench_function("wire_encode_flow_mod", |b| {
+        b.iter(|| encode_message(black_box(&msg), 1).unwrap())
+    });
+    c.bench_function("wire_decode_flow_mod", |b| {
+        b.iter(|| decode_message(black_box(&bytes)).unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_flow_table,
+    bench_group_select,
+    bench_flow_hash,
+    bench_event_queue,
+    bench_fifo_server,
+    bench_rng,
+    bench_wire_codec,
+    bench_end_to_end
+);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Regenerate the paper's figures.
+//!
+//! ```text
+//! cargo run --release -p scotch-bench --bin figures -- [all|fig3|fig4|fig9|fig10|fig11|fig12|fig13|fig14|fig15|ablation_migration|ablation_lb|ablation_withdrawal] [--smoke] [--seed N] [--out DIR]
+//! ```
+//!
+//! Prints each experiment's table and writes `results/<id>.{csv,json}`.
+
+use scotch_bench::{experiments, write_artifacts, Scale, DEFAULT_SEED};
+use std::path::PathBuf;
+
+fn main() {
+    let mut filter = "all".to_string();
+    let mut scale = Scale::Full;
+    let mut seed = DEFAULT_SEED;
+    let mut out = PathBuf::from("results");
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => scale = Scale::Smoke,
+            "--seed" => {
+                i += 1;
+                seed = args[i].parse().expect("--seed takes a u64");
+            }
+            "--out" => {
+                i += 1;
+                out = PathBuf::from(&args[i]);
+            }
+            other => filter = other.to_string(),
+        }
+        i += 1;
+    }
+
+    let known: Vec<&str> = experiments::all().iter().map(|(id, _)| *id).collect();
+    if filter != "all" && !known.contains(&filter.as_str()) {
+        eprintln!(
+            "unknown experiment '{filter}'; known: all {}",
+            known.join(" ")
+        );
+        std::process::exit(2);
+    }
+
+    eprintln!(
+        "running {} at {:?} scale, seed {seed} ...",
+        if filter == "all" {
+            "all experiments"
+        } else {
+            &filter
+        },
+        scale
+    );
+    let started = std::time::Instant::now();
+    let tables = experiments::run_matching(&filter, scale, seed);
+    for table in &tables {
+        println!("{}", table.to_text());
+        write_artifacts(&out, table).expect("write artifacts");
+    }
+    eprintln!(
+        "done: {} experiment(s) in {:.1}s; artifacts in {}",
+        tables.len(),
+        started.elapsed().as_secs_f64(),
+        out.display()
+    );
+}

@@ -1,0 +1,263 @@
+//! Design-choice ablations (DESIGN.md §6).
+
+use crate::{Scale, Table};
+use scotch::scenario::Scenario;
+use scotch::ScotchConfig;
+use scotch_openflow::SelectionPolicy;
+use scotch_sim::{SimDuration, SimTime};
+
+/// **A1** — migration disabled: elephants stay on the overlay, so the
+/// mesh vSwitches keep carrying their bytes and the elephants keep the
+/// longer-path latency. Quantifies §5.3's motivation ("it is not
+/// desirable to only forward flows by using vSwitches").
+pub fn a1_no_migration(scale: Scale, seed: u64) -> Table {
+    let horizon = SimTime::from_secs(scale.pick(12, 8));
+    let run = |migration: bool| {
+        Scenario::overlay_datacenter(4)
+            .with_config(ScotchConfig {
+                migration_enabled: migration,
+                ..Default::default()
+            })
+            .with_clients(50.0)
+            .with_attack(2_000.0)
+            .with_elephants(3, 1000.0, scale.pick(8000, 4000), SimTime::from_secs(2))
+            .run(horizon, seed)
+    };
+    let on = run(true);
+    let off = run(false);
+
+    let mesh_forwarded = |r: &scotch::Report| -> f64 {
+        r.vswitches
+            .iter()
+            .filter(|v| v.name.starts_with("mesh"))
+            .map(|v| v.dataplane.forwarded)
+            .sum::<u64>() as f64
+    };
+    let eleph_lat_us = |r: &scotch::Report| -> f64 {
+        let lats: Vec<f64> = r
+            .tracked
+            .values()
+            .flatten()
+            // Steady state: samples after migration had a chance to land.
+            .filter(|(t, _)| t.as_secs_f64() > 5.0)
+            .map(|(_, l)| l.as_secs_f64() * 1e6)
+            .collect();
+        if lats.is_empty() {
+            0.0
+        } else {
+            lats.iter().sum::<f64>() / lats.len() as f64
+        }
+    };
+
+    let mut table = Table::new(
+        "ablation_migration",
+        "A1: elephant latency & mesh vSwitch load, migration on vs off",
+        &[
+            "migration_enabled",
+            "migrations",
+            "mesh_forwarded_pkts",
+            "elephant_latency_us",
+        ],
+    );
+    table.push(vec![
+        1.0,
+        on.app.migrations as f64,
+        mesh_forwarded(&on),
+        eleph_lat_us(&on),
+    ]);
+    table.push(vec![
+        0.0,
+        off.app.migrations as f64,
+        mesh_forwarded(&off),
+        eleph_lat_us(&off),
+    ]);
+    table
+}
+
+/// **A2** — select-group bucket policy (§5.1): flow-hash vs per-packet
+/// round-robin. Round-robin breaks flow→vSwitch affinity, so every packet
+/// of a multi-packet flow lands on a vSwitch without that flow's rule and
+/// bounces to the controller — visible as duplicate Packet-Ins.
+pub fn a2_lb_policy(scale: Scale, seed: u64) -> Table {
+    let horizon = SimTime::from_secs(scale.pick(8, 5));
+    let run = |policy: SelectionPolicy| {
+        Scenario::overlay_datacenter(4)
+            .with_config(ScotchConfig {
+                lb_policy: policy,
+                ..Default::default()
+            })
+            .with_clients(50.0)
+            .with_attack(2_000.0)
+            .with_elephants(2, 500.0, scale.pick(2500, 1200), SimTime::from_secs(2))
+            .run(horizon, seed)
+    };
+    let hash = run(SelectionPolicy::FlowHash);
+    let rr = run(SelectionPolicy::RoundRobin);
+
+    let mesh_spread = |r: &scotch::Report| -> (f64, f64) {
+        let counts: Vec<f64> = r
+            .vswitches
+            .iter()
+            .filter(|v| v.name.starts_with("mesh"))
+            .map(|v| v.ofa.packet_in_sent as f64)
+            .collect();
+        let max = counts.iter().cloned().fold(0.0, f64::max);
+        let min = counts.iter().cloned().fold(f64::INFINITY, f64::min);
+        (max, min)
+    };
+
+    let mut table = Table::new(
+        "ablation_lb",
+        "A2: select-group bucket policy — flow hash vs round robin",
+        &[
+            "policy_rr",
+            "duplicate_packet_ins",
+            "mesh_pktin_max",
+            "mesh_pktin_min",
+            "client_failure",
+        ],
+    );
+    for (is_rr, r) in [(0.0, &hash), (1.0, &rr)] {
+        let (max, min) = mesh_spread(r);
+        table.push(vec![
+            is_rr,
+            r.app.duplicate_packet_ins as f64,
+            max,
+            min,
+            r.client_failure_fraction_between(
+                SimTime::from_secs(1),
+                horizon.saturating_sub(SimDuration::from_secs(1)),
+            ),
+        ]);
+    }
+    table
+}
+
+/// **A3** — withdrawal threshold (§5.5): too low and the overlay never
+/// lets go (flows keep the longer path); near the activation threshold and
+/// the system risks flapping. Sweeps the threshold against a transient
+/// attack and reports lifecycle counts.
+pub fn a3_withdrawal_thresholds(scale: Scale, seed: u64) -> Table {
+    let thresholds: Vec<f64> = match scale {
+        Scale::Full => vec![10.0, 40.0, 80.0, 120.0, 150.0],
+        Scale::Smoke => vec![10.0, 80.0],
+    };
+    let horizon = SimTime::from_secs(scale.pick(15, 10));
+
+    let mut table = Table::new(
+        "ablation_withdrawal",
+        "A3: withdrawal threshold vs lifecycle behaviour (attack 1s-4s, clients 50/s)",
+        &[
+            "withdrawal_threshold",
+            "activations",
+            "withdrawals",
+            "post_attack_client_failure",
+        ],
+    );
+    for th in thresholds {
+        let report = Scenario::overlay_datacenter(4)
+            .with_config(ScotchConfig {
+                withdrawal_threshold: th,
+                ..Default::default()
+            })
+            .with_clients(50.0)
+            .with_attack_window(2_000.0, SimTime::from_secs(1), SimTime::from_secs(4))
+            .run(horizon, seed);
+        table.push(vec![
+            th,
+            report.app.activations as f64,
+            report.app.withdrawals as f64,
+            report.client_failure_fraction_between(
+                SimTime::from_secs(7),
+                horizon.saturating_sub(SimDuration::from_secs(1)),
+            ),
+        ]);
+    }
+    table
+}
+
+/// **A4** — the §4 strawman: "dedicate one port of the physical switch to
+/// the overloaded new flows … However, using a dedicated physical port
+/// does not fully solve the problem. The maximum flow rule insertion rate
+/// is limited … The controller cannot install the flow rules fast enough."
+///
+/// Modelled as Scotch with overlay forwarding disabled (infinite overlay
+/// threshold — every flow waits for physical admission at rate `R`) and no
+/// ingress fairness, against full Scotch, on the leaf-spine fabric.
+pub fn a4_dedicated_port_strawman(scale: Scale, seed: u64) -> Table {
+    let horizon = SimTime::from_secs(scale.pick(10, 6));
+    let strawman_cfg = ScotchConfig {
+        overlay_threshold: 1_000_000,
+        drop_threshold: 2_000_000,
+        ingress_differentiation: false,
+        ..Default::default()
+    };
+    let run = |cfg: ScotchConfig| {
+        Scenario::multirack(2, 2)
+            .with_config(cfg)
+            .with_clients(100.0)
+            .with_attack(2_000.0)
+            .run(horizon, seed)
+    };
+    let strawman = run(strawman_cfg);
+    let scotch = run(ScotchConfig::default());
+
+    let late = |r: &scotch::Report| {
+        r.client_failure_fraction_between(
+            SimTime::from_secs(2),
+            horizon.saturating_sub(SimDuration::from_secs(1)),
+        )
+    };
+    let mut table = Table::new(
+        "ablation_dedicated_port",
+        "A4: dedicated-port strawman (physical-only admission) vs Scotch overlay forwarding",
+        &[
+            "overlay_forwarding",
+            "client_failure_steady",
+            "physical_admissions",
+            "overlay_admissions",
+        ],
+    );
+    table.push(vec![
+        0.0,
+        late(&strawman),
+        strawman.app.physical_admitted as f64,
+        strawman.app.overlay_admitted as f64,
+    ]);
+    table.push(vec![
+        1.0,
+        late(&scotch),
+        scotch.app.physical_admitted as f64,
+        scotch.app.overlay_admitted as f64,
+    ]);
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DEFAULT_SEED;
+
+    #[test]
+    fn a4_strawman_starves_clients() {
+        let t = a4_dedicated_port_strawman(Scale::Smoke, DEFAULT_SEED);
+        let failure = t.column_values("client_failure_steady");
+        assert!(failure[0] > 0.5, "strawman failure {}", failure[0]);
+        assert!(failure[1] < 0.05, "scotch failure {}", failure[1]);
+    }
+
+    #[test]
+    fn a3_low_threshold_never_withdraws() {
+        let t = a3_withdrawal_thresholds(Scale::Smoke, DEFAULT_SEED);
+        let th = t.column_values("withdrawal_threshold");
+        let wd = t.column_values("withdrawals");
+        // Threshold 10 < the 50/s residual client rate: overlay stays.
+        assert_eq!(th[0], 10.0);
+        assert_eq!(
+            wd[0], 0.0,
+            "threshold below residual rate must not withdraw"
+        );
+        // Threshold 80 > 50/s: withdraws.
+        assert!(wd[1] >= 1.0);
+    }
+}

@@ -1,0 +1,83 @@
+//! **Fig. 3** — "Physical switches and Open vSwitch control plane
+//! throughput comparison."
+//!
+//! Client at 100 new flows/s, attacker swept from 100 to 3800 flows/s,
+//! one switch under test at a time. The series is the client flow failure
+//! fraction. Expected shape (paper): all three curves climb with the
+//! attack rate; Pica8 fails earliest/hardest, HP Procurve later, Open
+//! vSwitch barely at all within the sweep.
+
+use crate::{Scale, Table};
+use scotch::scenario::Scenario;
+use scotch_sim::SimTime;
+use scotch_switch::SwitchProfile;
+
+/// Run the Fig. 3 sweep.
+pub fn run(scale: Scale, seed: u64) -> Table {
+    let rates: Vec<f64> = match scale {
+        Scale::Full => (1..=13).map(|i| 100.0 + (i - 1) as f64 * 308.0).collect(),
+        Scale::Smoke => vec![100.0, 1000.0, 3800.0],
+    };
+    let horizon = SimTime::from_secs(scale.pick(8, 2));
+
+    let mut table = Table::new(
+        "fig3",
+        "Client flow failure fraction vs attacking flow rate (client 100 flows/s)",
+        &["attack_rate", "pica8_pronto", "hp_procurve", "open_vswitch"],
+    );
+
+    let devices = [
+        SwitchProfile::pica8_pronto_3780(),
+        SwitchProfile::hp_procurve_6600(),
+        SwitchProfile::open_vswitch(),
+    ];
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    crossbeam::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for &rate in &rates {
+            let devices = devices.clone();
+            handles.push(s.spawn(move |_| {
+                let mut row = vec![rate];
+                for profile in devices {
+                    let report = Scenario::single_switch(profile)
+                        .with_clients(100.0)
+                        .with_attack(rate)
+                        .run(horizon, seed);
+                    row.push(report.client_failure_fraction());
+                }
+                row
+            }));
+        }
+        for h in handles {
+            rows.push(h.join().expect("point"));
+        }
+    })
+    .expect("scope");
+    rows.sort_by(|a, b| a[0].partial_cmp(&b[0]).unwrap());
+    for row in rows {
+        table.push(row);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DEFAULT_SEED;
+
+    #[test]
+    fn shape_matches_paper() {
+        let t = run(Scale::Smoke, DEFAULT_SEED);
+        let pica = t.column_values("pica8_pronto");
+        let hp = t.column_values("hp_procurve");
+        let ovs = t.column_values("open_vswitch");
+        // Monotone-ish climb for the hardware switches.
+        assert!(pica.last().unwrap() > pica.first().unwrap());
+        // At the top rate: Pica8 worst, OVS best (Fig. 3 ordering).
+        let last = t.rows.len() - 1;
+        assert!(pica[last] > hp[last], "pica {} hp {}", pica[last], hp[last]);
+        assert!(hp[last] > ovs[last], "hp {} ovs {}", hp[last], ovs[last]);
+        assert!(pica[last] > 0.8, "pica8 must be crushed at 3800 flows/s");
+        assert!(ovs[last] < 0.1, "OVS absorbs the whole sweep");
+    }
+}

@@ -1,0 +1,61 @@
+//! One module per reproduced figure/experiment. See DESIGN.md §5 for the
+//! index mapping these to the paper.
+
+pub mod ablations;
+pub mod fig10_interaction;
+pub mod fig3_failure;
+pub mod fig4_profile;
+pub mod fig9_insertion;
+pub mod scotch_eval;
+
+use crate::{Scale, Table};
+
+/// An experiment entry point: `(scale, seed) -> result table`.
+pub type Runner = fn(Scale, u64) -> Table;
+
+/// Every experiment in the suite, as `(id, runner)` pairs in paper order.
+pub fn all() -> Vec<(&'static str, Runner)> {
+    vec![
+        ("fig3", fig3_failure::run as Runner),
+        ("fig4", fig4_profile::run),
+        ("fig9", fig9_insertion::run),
+        ("fig10", fig10_interaction::run),
+        ("fig11", scotch_eval::fig11_ingress_differentiation),
+        ("fig12", scotch_eval::fig12_flow_migration),
+        ("fig13", scotch_eval::fig13_capacity_scaling),
+        ("fig14", scotch_eval::fig14_overlay_delay),
+        ("fig15", scotch_eval::fig15_trace_driven),
+        ("fig16", scotch_eval::fig16_tcam_exhaustion),
+        ("ablation_migration", ablations::a1_no_migration),
+        ("ablation_lb", ablations::a2_lb_policy),
+        ("ablation_withdrawal", ablations::a3_withdrawal_thresholds),
+        (
+            "ablation_dedicated_port",
+            ablations::a4_dedicated_port_strawman,
+        ),
+        ("ablation_controller", scotch_eval::a5_controller_capacity),
+    ]
+}
+
+/// Run experiments whose id matches `filter` (or all when `filter` is
+/// `"all"`), in parallel.
+pub fn run_matching(filter: &str, scale: Scale, seed: u64) -> Vec<Table> {
+    let jobs: Vec<_> = all()
+        .into_iter()
+        .filter(|(id, _)| filter == "all" || *id == filter)
+        .collect();
+    let mut results: Vec<Option<Table>> = (0..jobs.len()).map(|_| None).collect();
+    crossbeam::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for (id, runner) in &jobs {
+            let id = *id;
+            let runner = *runner;
+            handles.push((id, s.spawn(move |_| runner(scale, seed))));
+        }
+        for (i, (_, h)) in handles.into_iter().enumerate() {
+            results[i] = Some(h.join().expect("experiment thread panicked"));
+        }
+    })
+    .expect("scope");
+    results.into_iter().map(|t| t.expect("ran")).collect()
+}

@@ -1,0 +1,515 @@
+//! §6's Scotch evaluation experiments (DESIGN.md ids E11–E15).
+//!
+//! The provided paper text cuts off after Fig. 10 but announces these in
+//! §6's preamble: "experiments to demonstrate the benefits of ingress port
+//! differentiation and large flow migration … the growth in the Scotch
+//! overlay's capacity with addition of new vSwitches … the extra delay
+//! incurred by the Scotch overlay traffic relay … the trace driven
+//! experiment that demonstrates the benefits of Scotch to the application
+//! performance."
+
+use crate::{Scale, Table};
+use scotch::app::ControllerMode;
+use scotch::scenario::Scenario;
+use scotch::ScotchConfig;
+use scotch_controller::flowdb::FlowPath;
+use scotch_sim::{SimDuration, SimTime};
+
+/// **E11 / Fig. 11** — ingress-port differentiation.
+///
+/// Attacker and client enter the switch on different ports. With
+/// per-ingress-port queues the client keeps its fair share of the rule
+/// budget `R` and its flows run on the *physical* network; with one shared
+/// queue the flood starves clients onto the overlay.
+pub fn fig11_ingress_differentiation(scale: Scale, seed: u64) -> Table {
+    let attack_rates: Vec<f64> = match scale {
+        Scale::Full => vec![500.0, 1000.0, 2000.0, 3000.0],
+        Scale::Smoke => vec![2000.0],
+    };
+    let horizon = SimTime::from_secs(scale.pick(10, 6));
+
+    let mut table = Table::new(
+        "fig11",
+        "Ingress-port differentiation: client physical-path share & failure",
+        &[
+            "attack_rate",
+            "client_phys_frac_differentiated",
+            "client_phys_frac_shared",
+            "client_failure_differentiated",
+            "client_failure_shared",
+        ],
+    );
+
+    let physical_fraction = |r: &scotch::Report| {
+        let legit: Vec<_> = r.flows.iter().filter(|f| !f.is_attack).collect();
+        if legit.is_empty() {
+            return 0.0;
+        }
+        legit
+            .iter()
+            .filter(|f| f.served_by == Some(FlowPath::Physical))
+            .count() as f64
+            / legit.len() as f64
+    };
+    let settled = |r: &scotch::Report| {
+        r.client_failure_fraction_between(
+            SimTime::from_secs(1),
+            horizon.saturating_sub(SimDuration::from_secs(1)),
+        )
+    };
+
+    for attack in attack_rates {
+        let run = |differentiated: bool| {
+            Scenario::overlay_datacenter(4)
+                .with_config(ScotchConfig {
+                    ingress_differentiation: differentiated,
+                    ..Default::default()
+                })
+                .with_clients(80.0)
+                .with_attack(attack)
+                .run(horizon, seed)
+        };
+        let with_diff = run(true);
+        let shared = run(false);
+        table.push(vec![
+            attack,
+            physical_fraction(&with_diff),
+            physical_fraction(&shared),
+            settled(&with_diff),
+            settled(&shared),
+        ]);
+    }
+    table
+}
+
+/// **E12 / Fig. 12** — large-flow migration.
+///
+/// Elephants start on the overlay during the flood; the controller's
+/// stats polls spot and migrate them. Series: the elephants' mean
+/// per-packet latency per second, migration on vs off — migration moves
+/// them off the 3-tunnel overlay path onto the short physical path.
+pub fn fig12_flow_migration(scale: Scale, seed: u64) -> Table {
+    let horizon = SimTime::from_secs(scale.pick(12, 8));
+    let run = |migration: bool| {
+        Scenario::overlay_datacenter(4)
+            .with_config(ScotchConfig {
+                migration_enabled: migration,
+                ..Default::default()
+            })
+            .with_clients(50.0)
+            .with_attack(2_000.0)
+            .with_elephants(3, 1000.0, scale.pick(9000, 5000), SimTime::from_secs(2))
+            .run(horizon, seed)
+    };
+    let on = run(true);
+    let off = run(false);
+    assert!(
+        on.app.migrations >= 1,
+        "migration must fire: {}",
+        on.summary()
+    );
+    assert_eq!(off.app.migrations, 0);
+
+    let mean_lat_us_per_sec = |r: &scotch::Report, sec: u64| -> f64 {
+        let lo = sec as f64;
+        let hi = lo + 1.0;
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for samples in r.tracked.values() {
+            for (t, lat) in samples {
+                let s = t.as_secs_f64();
+                if s >= lo && s < hi {
+                    sum += lat.as_secs_f64() * 1e6;
+                    n += 1;
+                }
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    };
+
+    let mut table = Table::new(
+        "fig12",
+        "Elephant packet latency over time, migration on vs off (us)",
+        &[
+            "t_sec",
+            "latency_us_migration_on",
+            "latency_us_migration_off",
+        ],
+    );
+    for sec in 2..horizon.as_secs_f64() as u64 {
+        table.push(vec![
+            sec as f64,
+            mean_lat_us_per_sec(&on, sec),
+            mean_lat_us_per_sec(&off, sec),
+        ]);
+    }
+    table
+}
+
+/// **E13 / Fig. 13** — overlay capacity scaling with the number of mesh
+/// vSwitches.
+///
+/// A flood far beyond any single vSwitch agent's capacity (each handles
+/// ~10k Packet-In/s) is load-balanced over 1–8 vSwitches. Series: the
+/// aggregate vSwitch Packet-In rate (grows ~linearly until it covers the
+/// offered load) and the steady-state client failure (drops to ~0 once
+/// capacity suffices).
+pub fn fig13_capacity_scaling(scale: Scale, seed: u64) -> Table {
+    let sizes: Vec<usize> = match scale {
+        Scale::Full => vec![1, 2, 3, 4, 6, 8],
+        Scale::Smoke => vec![1, 3],
+    };
+    let attack = 25_000.0;
+    let horizon = SimTime::from_secs(scale.pick(6, 3));
+
+    let mut table = Table::new(
+        "fig13",
+        "Overlay capacity vs number of mesh vSwitches (attack 25k flows/s)",
+        &["n_vswitches", "vswitch_packet_in_rate", "client_failure"],
+    );
+    let mut rows = Vec::new();
+    crossbeam::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for &n in &sizes {
+            handles.push(s.spawn(move |_| {
+                let report = Scenario::overlay_datacenter(n)
+                    .with_clients(100.0)
+                    .with_attack(attack)
+                    .run(horizon, seed);
+                // Count only the mesh vSwitches' Packet-Ins (host vSwitch
+                // agents see little in this experiment).
+                let mesh_pktin: u64 = report
+                    .vswitches
+                    .iter()
+                    .filter(|v| v.name.starts_with("mesh"))
+                    .map(|v| v.ofa.packet_in_sent)
+                    .sum();
+                let failure = report.client_failure_fraction_between(
+                    SimTime::from_secs(1),
+                    horizon.saturating_sub(SimDuration::from_secs(1)),
+                );
+                vec![n as f64, mesh_pktin as f64 / horizon.as_secs_f64(), failure]
+            }));
+        }
+        for h in handles {
+            rows.push(h.join().expect("point"));
+        }
+    })
+    .expect("scope");
+    rows.sort_by(|a, b| a[0].partial_cmp(&b[0]).unwrap());
+    for row in rows {
+        table.push(row);
+    }
+    table
+}
+
+/// **E14 / Fig. 14** — extra delay of the overlay path.
+///
+/// The same paced flows are measured once on the physical path (no
+/// congestion, normal admission) and once pinned to the overlay
+/// (flood + migration disabled). The overlay packet crosses three tunnels
+/// and transits the hardware switch four times (§4.1), so its latency is a
+/// small multiple of the physical path's.
+pub fn fig14_overlay_delay(scale: Scale, seed: u64) -> Table {
+    let horizon = SimTime::from_secs(scale.pick(8, 5));
+    // Steady state only: the first ~1.5 s of a flow includes rule-setup
+    // races where packets are relayed via the controller.
+    let steady_from = SimTime::from_secs_f64(2.5);
+    let stats_of = move |r: &scotch::Report| -> (f64, f64, f64) {
+        let mut lats: Vec<f64> = r
+            .tracked
+            .values()
+            .flatten()
+            .filter(|(t, _)| *t >= steady_from)
+            .map(|(_, l)| l.as_secs_f64() * 1e6)
+            .collect();
+        lats.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        if lats.is_empty() {
+            return (0.0, 0.0, 0.0);
+        }
+        let mean = lats.iter().sum::<f64>() / lats.len() as f64;
+        let p50 = lats[lats.len() / 2];
+        let p99 = lats[(lats.len() as f64 * 0.99) as usize];
+        (mean, p50, p99)
+    };
+
+    // Physical arm: quiet network, elephants admitted normally.
+    let physical = Scenario::overlay_datacenter(4)
+        .with_elephants(2, 800.0, scale.pick(4000, 2000), SimTime::from_secs(1))
+        .run(horizon, seed);
+    // Overlay arm: flood keeps the overlay active; migration disabled pins
+    // the elephants to the 3-tunnel path.
+    let overlay = Scenario::overlay_datacenter(4)
+        .with_config(ScotchConfig {
+            migration_enabled: false,
+            ..Default::default()
+        })
+        .with_attack(2_000.0)
+        .with_elephants(2, 800.0, scale.pick(4000, 2000), SimTime::from_secs(1))
+        .run(horizon, seed);
+
+    let (pm, p50p, p99p) = stats_of(&physical);
+    let (om, p50o, p99o) = stats_of(&overlay);
+    let mut table = Table::new(
+        "fig14",
+        "Per-packet latency: physical path vs 3-tunnel overlay path (us)",
+        &["path_overlay", "mean_us", "p50_us", "p99_us"],
+    );
+    table.push(vec![0.0, pm, p50p, p99p]);
+    table.push(vec![1.0, om, p50o, p99o]);
+    table
+}
+
+/// **E15 / Fig. 15** — trace-driven application performance.
+///
+/// A synthetic data-center trace (Poisson arrivals, bounded-Pareto sizes)
+/// runs alongside a flood, with and without Scotch. Series: legitimate
+/// flow success, completion rate, mean FCT and goodput.
+pub fn fig15_trace_driven(scale: Scale, seed: u64) -> Table {
+    let horizon = SimTime::from_secs(scale.pick(12, 6));
+    // Microflow (5-tuple) rules: every trace flow between a host pair is
+    // reactive, as in controllers that install exact-match rules.
+    let run = |mode: ControllerMode| {
+        Scenario::overlay_datacenter(4)
+            .with_mode(mode)
+            .with_config(ScotchConfig {
+                exact_match_rules: true,
+                ..Default::default()
+            })
+            .with_servers(6)
+            .with_trace(scale.pick(200.0, 100.0))
+            .with_attack(2_000.0)
+            .run(horizon, seed)
+    };
+    let baseline = run(ControllerMode::Baseline);
+    let scotch = run(ControllerMode::Scotch);
+
+    let metrics = |r: &scotch::Report| -> Vec<f64> {
+        let legit: Vec<_> = r.flows.iter().filter(|f| !f.is_attack).collect();
+        let success =
+            legit.iter().filter(|f| f.succeeded()).count() as f64 / legit.len().max(1) as f64;
+        let completed =
+            legit.iter().filter(|f| f.completed()).count() as f64 / legit.len().max(1) as f64;
+        let fct = r.mean_client_fct().unwrap_or(0.0);
+        let goodput_mbps = legit.iter().map(|f| f.delivered_bytes).sum::<u64>() as f64 * 8.0
+            / r.duration.as_secs_f64()
+            / 1e6;
+        vec![success, completed, fct, goodput_mbps]
+    };
+
+    let mut table = Table::new(
+        "fig15",
+        "Trace-driven app performance under attack: baseline vs Scotch",
+        &[
+            "scotch_enabled",
+            "flow_success",
+            "flow_completion",
+            "mean_fct_s",
+            "goodput_mbps",
+        ],
+    );
+    let mut row = vec![0.0];
+    row.extend(metrics(&baseline));
+    table.push(row);
+    let mut row = vec![1.0];
+    row.extend(metrics(&scotch));
+    table.push(row);
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DEFAULT_SEED;
+
+    #[test]
+    fn fig11_differentiation_shifts_clients_to_physical() {
+        let t = fig11_ingress_differentiation(Scale::Smoke, DEFAULT_SEED);
+        for row in &t.rows {
+            let (diff, shared) = (row[1], row[2]);
+            assert!(diff > 0.6, "differentiated phys share {diff}");
+            assert!(shared < diff / 2.0, "shared {shared} vs diff {diff}");
+            assert!(
+                row[3] < 0.05 && row[4] < 0.05,
+                "both arms keep clients alive"
+            );
+        }
+    }
+
+    #[test]
+    fn fig13_capacity_grows_with_vswitches() {
+        let t = fig13_capacity_scaling(Scale::Smoke, DEFAULT_SEED);
+        let rates = t.column_values("vswitch_packet_in_rate");
+        let failures = t.column_values("client_failure");
+        assert!(rates[1] > 2.0 * rates[0], "rate should scale: {rates:?}");
+        assert!(
+            failures[1] < failures[0] / 2.0,
+            "failure should drop: {failures:?}"
+        );
+    }
+
+    #[test]
+    fn fig14_overlay_is_slower_but_bounded() {
+        let t = fig14_overlay_delay(Scale::Smoke, DEFAULT_SEED);
+        let phys_mean = t.rows[0][1];
+        let over_mean = t.rows[1][1];
+        assert!(
+            over_mean > 1.5 * phys_mean,
+            "overlay {over_mean}us vs physical {phys_mean}us"
+        );
+        assert!(over_mean < 20.0 * phys_mean, "but not pathological");
+    }
+}
+
+/// **E16 / Fig. 16** — TCAM exhaustion (§3.3).
+///
+/// "A limited amount of TCAM at a switch can also cause new flows being
+/// dropped. A new flow rule won't be installed at the flow table if it
+/// becomes full. … the solution proposed in this paper is applicable to
+/// the TCAM bottleneck scenario as well."
+///
+/// Legitimate multi-packet flows at a rate the OFA handles comfortably,
+/// but with a flow table too small for the rule working set (rate ×
+/// 10 s idle timeout). The baseline's flows lose their tails once the
+/// table fills; Scotch notices the TableFull error rate, activates, and
+/// carries the flows on vSwitch rules.
+pub fn fig16_tcam_exhaustion(scale: Scale, seed: u64) -> Table {
+    use scotch_workload::clients::FlowSize;
+    let capacities: Vec<usize> = match scale {
+        Scale::Full => vec![200, 400, 800, 1600, 2400],
+        Scale::Smoke => vec![200, 2400],
+    };
+    let horizon = SimTime::from_secs(scale.pick(12, 9));
+    // 80 flows/s: 160 rule inserts/s (two switches on the path), under
+    // both the 200/s lossless insert rate and the OFA capacity — only the
+    // table size varies.
+    let rate = 80.0;
+
+    let mut table = Table::new(
+        "fig16",
+        "TCAM exhaustion: flow completion vs flow-table capacity (80 flows/s, 10 s rule timeout)",
+        &["table_capacity", "completion_baseline", "completion_scotch"],
+    );
+    let window_from = SimTime::from_secs(5); // table fills within ~3-4 s
+    for cap in capacities {
+        let mut profile = scotch_switch::SwitchProfile::pica8_pronto_3780();
+        profile.flow_table_capacity = cap;
+        let run = |mode: ControllerMode| {
+            Scenario::overlay_datacenter(4)
+                .with_mode(mode)
+                .with_profile(profile.clone())
+                .with_config(ScotchConfig {
+                    // Per-flow (5-tuple) rules so the working set is the
+                    // flow arrival rate times the rule lifetime.
+                    exact_match_rules: true,
+                    ..Default::default()
+                })
+                // 50 ms packet gaps: the ~10-15 ms rule-setup time (one
+                // 5 ms OFA service slot + control latency) finishes before
+                // packet 2 arrives, so only the table size is under test.
+                .with_client_flows(rate, FlowSize::Fixed(5), SimDuration::from_millis(50))
+                .run(horizon, seed)
+        };
+        let baseline = run(ControllerMode::Baseline);
+        let scotch = run(ControllerMode::Scotch);
+        let completion = |r: &scotch::Report| {
+            let legit: Vec<_> = r
+                .flows
+                .iter()
+                .filter(|f| {
+                    !f.is_attack
+                        && f.started_at >= window_from
+                        && f.started_at < horizon.saturating_sub(SimDuration::from_secs(1))
+                })
+                .collect();
+            legit.iter().filter(|f| f.completed()).count() as f64 / legit.len().max(1) as f64
+        };
+        table.push(vec![cap as f64, completion(&baseline), completion(&scotch)]);
+        let _ = &window_from;
+    }
+    table
+}
+
+/// **A5** — controller processing capacity (§2).
+///
+/// "A single node multi-threaded controller can handle millions of
+/// PacketIn/sec. A distributed controller … can further scale up
+/// capacity. The design of a scalable controller is out of the scope of
+/// this paper." This sweep quantifies where the controller *would* become
+/// the bottleneck: Scotch raises the Packet-In volume reaching the
+/// controller to the full attack rate, so an undersized controller drops
+/// messages and clients fail again.
+pub fn a5_controller_capacity(scale: Scale, seed: u64) -> Table {
+    let capacities: Vec<f64> = match scale {
+        Scale::Full => vec![1_000.0, 3_000.0, 6_000.0, 12_000.0, 50_000.0],
+        Scale::Smoke => vec![1_000.0, 50_000.0],
+    };
+    let attack = 8_000.0;
+    let horizon = SimTime::from_secs(scale.pick(8, 4));
+    let mut table = Table::new(
+        "ablation_controller",
+        "A5: client failure vs controller Packet-In capacity (attack 8k flows/s, Scotch on)",
+        &[
+            "controller_capacity",
+            "client_failure",
+            "controller_dropped",
+        ],
+    );
+    for cap in capacities {
+        let report = Scenario::overlay_datacenter(4)
+            .with_config(ScotchConfig {
+                controller_capacity: Some(cap),
+                ..Default::default()
+            })
+            .with_clients(100.0)
+            .with_attack(attack)
+            .run(horizon, seed);
+        table.push(vec![
+            cap,
+            report.client_failure_fraction_between(
+                SimTime::from_secs(1),
+                horizon.saturating_sub(SimDuration::from_secs(1)),
+            ),
+            report.controller_dropped as f64,
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tcam_tests {
+    use super::*;
+    use crate::DEFAULT_SEED;
+
+    #[test]
+    fn fig16_scotch_survives_small_tcam() {
+        let t = fig16_tcam_exhaustion(Scale::Smoke, DEFAULT_SEED);
+        // Smallest capacity: baseline loses flow tails, Scotch does not.
+        let row = &t.rows[0];
+        assert!(
+            row[t.col("completion_baseline")] < 0.5,
+            "baseline with tiny TCAM should fail: {row:?}"
+        );
+        assert!(
+            row[t.col("completion_scotch")] > 0.9,
+            "scotch should absorb the TCAM bottleneck: {row:?}"
+        );
+        // Ample capacity: both fine.
+        let last = t.rows.last().unwrap();
+        assert!(last[t.col("completion_baseline")] > 0.9, "{last:?}");
+    }
+
+    #[test]
+    fn a5_undersized_controller_is_a_bottleneck() {
+        let t = a5_controller_capacity(Scale::Smoke, DEFAULT_SEED);
+        let failure = t.column_values("client_failure");
+        let dropped = t.column_values("controller_dropped");
+        assert!(failure[0] > 0.3, "1k/s controller must choke: {failure:?}");
+        assert!(dropped[0] > 0.0);
+        assert!(failure[1] < 0.05, "50k/s controller is ample: {failure:?}");
+    }
+}

@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! # scotch-bench
+//!
+//! The experiment harness: one module per paper figure/table, each
+//! producing the same rows/series the paper plots, plus the ablations
+//! called out in DESIGN.md. The `figures` binary runs them and writes CSV
+//! + JSON artifacts under `results/`.
+//!
+//! Experiment ids follow DESIGN.md §5: F3/F4/F9/F10 are the paper's
+//! measurement figures; E11–E15 are the Scotch evaluation experiments the
+//! paper's §6 describes; A1–A3 are design-choice ablations.
+
+pub mod experiments;
+pub mod output;
+
+pub use output::{write_artifacts, Table};
+
+/// Default per-experiment simulation seed; every experiment is
+/// deterministic in it.
+pub const DEFAULT_SEED: u64 = 20141202; // CoNEXT'14 presentation date
+
+/// Scale knob: `Full` reproduces the paper's ranges; `Smoke` shrinks
+/// sweeps and horizons so the whole suite runs in seconds (CI / tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Paper-scale sweeps (seconds of simulated time per point).
+    Full,
+    /// Miniature sweeps for smoke testing.
+    Smoke,
+}
+
+impl Scale {
+    /// Pick `full` or `smoke` value.
+    pub fn pick<T>(self, full: T, smoke: T) -> T {
+        match self {
+            Scale::Full => full,
+            Scale::Smoke => smoke,
+        }
+    }
+}

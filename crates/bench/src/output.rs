@@ -1,0 +1,166 @@
+//! Result tables and artifact emission.
+
+use serde::Serialize;
+use std::fs;
+use std::path::Path;
+
+/// A rectangular result table: named columns, `f64` cells.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table {
+    /// Experiment id, e.g. `"fig3"`.
+    pub id: String,
+    /// Human title (printed as a header).
+    pub title: String,
+    /// Column names.
+    pub columns: Vec<String>,
+    /// Rows, each `columns.len()` long.
+    pub rows: Vec<Vec<f64>>,
+}
+
+impl Table {
+    /// An empty table.
+    pub fn new(id: &str, title: &str, columns: &[&str]) -> Self {
+        Table {
+            id: id.to_string(),
+            title: title.to_string(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the column count).
+    pub fn push(&mut self, row: Vec<f64>) {
+        assert_eq!(row.len(), self.columns.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Render as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut s = self.columns.join(",");
+        s.push('\n');
+        for row in &self.rows {
+            let line: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
+            s.push_str(&line.join(","));
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Render as an aligned text table for the terminal.
+    pub fn to_text(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        let cells: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(|v| format_num(*v)).collect())
+            .collect();
+        for row in &cells {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = format!("== {} — {} ==\n", self.id, self.title);
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:>w$}", w = widths[i]))
+            .collect();
+        out.push_str(&header.join("  "));
+        out.push('\n');
+        for row in &cells {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{c:>w$}", w = widths[i]))
+                .collect();
+            out.push_str(&line.join("  "));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Column index by name. Panics if absent (test helper).
+    pub fn col(&self, name: &str) -> usize {
+        self.columns
+            .iter()
+            .position(|c| c == name)
+            .unwrap_or_else(|| panic!("no column {name}"))
+    }
+
+    /// All values of one column.
+    pub fn column_values(&self, name: &str) -> Vec<f64> {
+        let i = self.col(name);
+        self.rows.iter().map(|r| r[i]).collect()
+    }
+}
+
+fn format_num(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e9 {
+        format!("{}", v as i64)
+    } else if v.abs() >= 100.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// Write `table` as `<dir>/<id>.csv` and `<dir>/<id>.json`.
+pub fn write_artifacts(dir: &Path, table: &Table) -> std::io::Result<()> {
+    fs::create_dir_all(dir)?;
+    fs::write(dir.join(format!("{}.csv", table.id)), table.to_csv())?;
+    fs::write(
+        dir.join(format!("{}.json", table.id)),
+        serde_json::to_string_pretty(table).expect("table serializes"),
+    )?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Table {
+        let mut t = Table::new("t1", "Test", &["x", "y"]);
+        t.push(vec![1.0, 2.5]);
+        t.push(vec![2.0, 3.5]);
+        t
+    }
+
+    #[test]
+    fn csv_round() {
+        let csv = table().to_csv();
+        assert_eq!(csv, "x,y\n1,2.5\n2,3.5\n");
+    }
+
+    #[test]
+    fn text_renders_header_and_rows() {
+        let txt = table().to_text();
+        assert!(txt.contains("t1"));
+        assert!(txt.lines().count() >= 4);
+    }
+
+    #[test]
+    fn column_access() {
+        let t = table();
+        assert_eq!(t.col("y"), 1);
+        assert_eq!(t.column_values("x"), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn width_mismatch_panics() {
+        let mut t = table();
+        t.push(vec![1.0]);
+    }
+
+    #[test]
+    fn artifacts_written() {
+        let dir = std::env::temp_dir().join("scotch_bench_test_artifacts");
+        let _ = std::fs::remove_dir_all(&dir);
+        write_artifacts(&dir, &table()).unwrap();
+        assert!(dir.join("t1.csv").exists());
+        assert!(dir.join("t1.json").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

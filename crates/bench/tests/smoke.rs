@@ -1,0 +1,132 @@
+//! Smoke test: every experiment runs end to end at smoke scale, produces a
+//! well-formed table, and reproduces its headline shape.
+
+use scotch_bench::{experiments, Scale, Table, DEFAULT_SEED};
+
+fn by_id(tables: &[Table], id: &str) -> Table {
+    tables
+        .iter()
+        .find(|t| t.id == id)
+        .unwrap_or_else(|| panic!("missing table {id}"))
+        .clone()
+}
+
+#[test]
+fn all_experiments_run_and_have_rows() {
+    let tables = experiments::run_matching("all", Scale::Smoke, DEFAULT_SEED);
+    assert_eq!(tables.len(), experiments::all().len());
+    for t in &tables {
+        assert!(!t.rows.is_empty(), "{} produced no rows", t.id);
+        assert!(!t.columns.is_empty());
+        for row in &t.rows {
+            assert_eq!(row.len(), t.columns.len(), "{} ragged row", t.id);
+            for v in row {
+                assert!(v.is_finite(), "{} non-finite cell", t.id);
+            }
+        }
+    }
+
+    // Headline shapes, one assertion per paper claim.
+
+    // Fig. 3: Pica8 collapses at high attack rates, OVS does not.
+    let fig3 = by_id(&tables, "fig3");
+    let last = fig3.rows.last().unwrap();
+    assert!(last[fig3.col("pica8_pronto")] > 0.8);
+    assert!(last[fig3.col("open_vswitch")] < 0.1);
+
+    // Fig. 4: the three control-path rates saturate together (~200/s).
+    let fig4 = by_id(&tables, "fig4");
+    let top = fig4.rows.last().unwrap();
+    assert!((top[fig4.col("packet_in_rate")] - 200.0).abs() < 45.0);
+
+    // Fig. 9: insertion success plateaus near 1000/s.
+    let fig9 = by_id(&tables, "fig9");
+    let plateau = fig9.rows.last().unwrap()[fig9.col("successful_rate")];
+    assert!((850.0..1100.0).contains(&plateau), "plateau {plateau}");
+
+    // Fig. 10: loss jumps past the 1300 rules/s knee.
+    let fig10 = by_id(&tables, "fig10");
+    for row in &fig10.rows {
+        let loss = row[fig10.col("loss_1000pps")];
+        if row[0] < 1300.0 {
+            assert!(loss < 0.05, "rate {} loss {loss}", row[0]);
+        } else {
+            assert!(loss > 0.9, "rate {} loss {loss}", row[0]);
+        }
+    }
+
+    // Fig. 11: differentiation keeps clients on the physical network.
+    let fig11 = by_id(&tables, "fig11");
+    for row in &fig11.rows {
+        assert!(
+            row[fig11.col("client_phys_frac_differentiated")]
+                > 2.0 * row[fig11.col("client_phys_frac_shared")]
+        );
+    }
+
+    // Fig. 12: after migration completes, migrated elephants run at lower
+    // latency than the pinned-overlay arm.
+    let fig12 = by_id(&tables, "fig12");
+    let late_rows: Vec<_> = fig12
+        .rows
+        .iter()
+        .filter(|r| r[0] >= 5.0 && r[fig12.col("latency_us_migration_off")] > 0.0)
+        .collect();
+    assert!(!late_rows.is_empty());
+    for row in late_rows {
+        assert!(
+            row[fig12.col("latency_us_migration_on")] < row[fig12.col("latency_us_migration_off")],
+            "t={} on={} off={}",
+            row[0],
+            row[1],
+            row[2]
+        );
+    }
+
+    // Fig. 13: capacity grows with the vSwitch pool.
+    let fig13 = by_id(&tables, "fig13");
+    let rates = fig13.column_values("vswitch_packet_in_rate");
+    assert!(rates.last().unwrap() > &(2.0 * rates[0]));
+
+    // Fig. 14: overlay path latency is a small multiple of physical.
+    let fig14 = by_id(&tables, "fig14");
+    assert!(fig14.rows[1][1] > 1.5 * fig14.rows[0][1]);
+
+    // Fig. 15: Scotch beats baseline on flow success AND completion under
+    // attack.
+    let fig15 = by_id(&tables, "fig15");
+    let success = fig15.column_values("flow_success");
+    let completion = fig15.column_values("flow_completion");
+    assert!(
+        success[1] > success[0] + 0.3,
+        "baseline {} scotch {}",
+        success[0],
+        success[1]
+    );
+    assert!(
+        completion[1] > completion[0] + 0.4,
+        "completion: baseline {} scotch {}",
+        completion[0],
+        completion[1]
+    );
+
+    // A1: without migration the mesh carries far more elephant traffic.
+    let a1 = by_id(&tables, "ablation_migration");
+    let fwd = a1.column_values("mesh_forwarded_pkts");
+    assert!(fwd[1] > fwd[0], "migration should offload the mesh");
+
+    // A2: round-robin buckets cause duplicate Packet-In storms.
+    let a2 = by_id(&tables, "ablation_lb");
+    let dups = a2.column_values("duplicate_packet_ins");
+    assert!(
+        dups[1] > 2.0 * dups[0].max(1.0),
+        "hash {} rr {}",
+        dups[0],
+        dups[1]
+    );
+
+    // A3: a threshold below the residual client rate never withdraws.
+    let a3 = by_id(&tables, "ablation_withdrawal");
+    assert_eq!(a3.rows[0][a3.col("withdrawals")], 0.0);
+    assert!(a3.rows[1][a3.col("withdrawals")] >= 1.0);
+}

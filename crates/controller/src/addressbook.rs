@@ -1,0 +1,116 @@
+//! The controller's global view of host placement.
+
+use scotch_net::{IpAddr, NodeId, PortId, Topology};
+use std::collections::HashMap;
+
+/// Host attachment: which node a host is, and where it plugs in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Attachment {
+    /// The host's own node.
+    pub host: NodeId,
+    /// The switch (or vSwitch) the host hangs off.
+    pub switch: NodeId,
+    /// The switch-side port the host is wired to.
+    pub switch_port: PortId,
+}
+
+/// IP → host placement directory.
+#[derive(Debug, Clone, Default)]
+pub struct AddressBook {
+    by_ip: HashMap<IpAddr, Attachment>,
+    by_host: HashMap<NodeId, IpAddr>,
+}
+
+impl AddressBook {
+    /// An empty book.
+    pub fn new() -> Self {
+        AddressBook::default()
+    }
+
+    /// Register a host with address `ip` attached to `switch`. The
+    /// switch-side port is discovered from the topology.
+    ///
+    /// Panics if `host` and `switch` are not adjacent — that is a test
+    /// wiring bug, not a runtime condition.
+    pub fn register(&mut self, topo: &Topology, ip: IpAddr, host: NodeId, switch: NodeId) {
+        let switch_port = topo
+            .port_towards(switch, host)
+            .expect("host must be adjacent to its switch");
+        self.by_ip.insert(
+            ip,
+            Attachment {
+                host,
+                switch,
+                switch_port,
+            },
+        );
+        self.by_host.insert(host, ip);
+    }
+
+    /// Look up where an address lives.
+    pub fn locate(&self, ip: IpAddr) -> Option<Attachment> {
+        self.by_ip.get(&ip).copied()
+    }
+
+    /// The address of a host node.
+    pub fn address_of(&self, host: NodeId) -> Option<IpAddr> {
+        self.by_host.get(&host).copied()
+    }
+
+    /// Number of registered hosts.
+    pub fn len(&self) -> usize {
+        self.by_ip.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_ip.is_empty()
+    }
+
+    /// Iterate over all registered (ip, attachment) pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&IpAddr, &Attachment)> {
+        self.by_ip.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scotch_net::{LinkSpec, NodeKind};
+
+    #[test]
+    fn register_and_locate() {
+        let mut topo = Topology::new();
+        let h = topo.add_node(NodeKind::Host, "h");
+        let s = topo.add_node(NodeKind::PhysicalSwitch, "s");
+        topo.add_duplex_link(h, s, LinkSpec::gig());
+        let mut book = AddressBook::new();
+        let ip = IpAddr::new(10, 0, 0, 1);
+        book.register(&topo, ip, h, s);
+
+        let att = book.locate(ip).unwrap();
+        assert_eq!(att.host, h);
+        assert_eq!(att.switch, s);
+        assert_eq!(att.switch_port, topo.port_towards(s, h).unwrap());
+        assert_eq!(book.address_of(h), Some(ip));
+        assert_eq!(book.len(), 1);
+        assert!(!book.is_empty());
+    }
+
+    #[test]
+    fn unknown_lookups_are_none() {
+        let book = AddressBook::new();
+        assert!(book.locate(IpAddr::new(1, 2, 3, 4)).is_none());
+        assert!(book.address_of(NodeId(7)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "adjacent")]
+    fn non_adjacent_registration_panics() {
+        let mut topo = Topology::new();
+        let h = topo.add_node(NodeKind::Host, "h");
+        let s = topo.add_node(NodeKind::PhysicalSwitch, "s");
+        let mut book = AddressBook::new();
+        book.register(&topo, IpAddr::new(10, 0, 0, 1), h, s);
+    }
+}

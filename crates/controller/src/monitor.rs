@@ -1,0 +1,205 @@
+//! Controller-side monitoring.
+//!
+//! * [`PacketInMonitor`] — "The OpenFlow controller monitors the rate of
+//!   Packet-In messages sent by the OFA of each physical switch to
+//!   determine if the control path is congested" (§4.2). The same signal,
+//!   falling below a low-water mark, drives withdrawal (§5.5).
+//! * [`HeartbeatTracker`] — "vSwitch has a built-in heartbeat module that
+//!   periodically sends the ECHO REQUEST message … The heartbeat message
+//!   enables the OpenFlow controller to detect the failure of a vSwitch"
+//!   (§5.6). We have the controller originate the probes (as Floodlight
+//!   does); detection semantics are identical.
+
+use scotch_net::NodeId;
+use scotch_sim::metrics::RateMeter;
+use scotch_sim::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// Per-switch Packet-In rate monitoring.
+#[derive(Debug, Clone)]
+pub struct PacketInMonitor {
+    window: SimDuration,
+    meters: HashMap<NodeId, RateMeter>,
+}
+
+impl PacketInMonitor {
+    /// A monitor with the given averaging window (the paper does not state
+    /// one; 1 s matches its flows/sec reporting granularity).
+    pub fn new(window: SimDuration) -> Self {
+        PacketInMonitor {
+            window,
+            meters: HashMap::new(),
+        }
+    }
+
+    /// Record one Packet-In attributed to `switch` (for overlay-borne
+    /// Packet-Ins, the *originating physical switch*, not the vSwitch).
+    pub fn record(&mut self, switch: NodeId, now: SimTime) {
+        self.meters
+            .entry(switch)
+            .or_insert_with(|| RateMeter::new(self.window))
+            .tick(now);
+    }
+
+    /// Current rate (events/s) for a switch; 0 if never seen.
+    pub fn rate(&mut self, switch: NodeId, now: SimTime) -> f64 {
+        match self.meters.get_mut(&switch) {
+            Some(m) => m.rate(now),
+            None => 0.0,
+        }
+    }
+
+    /// Total Packet-Ins ever attributed to a switch.
+    pub fn total(&self, switch: NodeId) -> u64 {
+        self.meters.get(&switch).map(|m| m.total()).unwrap_or(0)
+    }
+}
+
+/// Liveness tracking for vSwitches via Echo request/reply.
+#[derive(Debug, Clone)]
+pub struct HeartbeatTracker {
+    /// Probe period.
+    pub period: SimDuration,
+    /// Declared dead after this many silent periods.
+    pub miss_limit: u32,
+    last_reply: HashMap<NodeId, SimTime>,
+    registered: Vec<NodeId>,
+    next_nonce: u64,
+}
+
+impl HeartbeatTracker {
+    /// A tracker probing every `period`, declaring failure after
+    /// `miss_limit` missed replies.
+    pub fn new(period: SimDuration, miss_limit: u32) -> Self {
+        assert!(miss_limit >= 1);
+        HeartbeatTracker {
+            period,
+            miss_limit,
+            last_reply: HashMap::new(),
+            registered: Vec::new(),
+            next_nonce: 0,
+        }
+    }
+
+    /// Start tracking a vSwitch (treated as alive as of `now`).
+    pub fn register(&mut self, node: NodeId, now: SimTime) {
+        if !self.registered.contains(&node) {
+            self.registered.push(node);
+        }
+        self.last_reply.insert(node, now);
+    }
+
+    /// Stop tracking a vSwitch.
+    pub fn unregister(&mut self, node: NodeId) {
+        self.registered.retain(|n| *n != node);
+        self.last_reply.remove(&node);
+    }
+
+    /// All tracked nodes, in registration order.
+    pub fn tracked(&self) -> &[NodeId] {
+        &self.registered
+    }
+
+    /// Produce the next probe nonce.
+    pub fn next_nonce(&mut self) -> u64 {
+        let n = self.next_nonce;
+        self.next_nonce += 1;
+        n
+    }
+
+    /// Record an EchoReply from `node`.
+    pub fn on_reply(&mut self, node: NodeId, now: SimTime) {
+        if self.registered.contains(&node) {
+            self.last_reply.insert(node, now);
+        }
+    }
+
+    /// Is the node within its liveness deadline?
+    pub fn is_alive(&self, node: NodeId, now: SimTime) -> bool {
+        match self.last_reply.get(&node) {
+            Some(&t) => {
+                now.duration_since(t) < SimDuration(self.period.0 * self.miss_limit as u64 + 1)
+            }
+            None => false,
+        }
+    }
+
+    /// Nodes that have newly exceeded the miss limit.
+    pub fn dead_nodes(&self, now: SimTime) -> Vec<NodeId> {
+        self.registered
+            .iter()
+            .copied()
+            .filter(|n| !self.is_alive(*n, now))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monitor_tracks_rates_per_switch() {
+        let mut m = PacketInMonitor::new(SimDuration::from_secs(1));
+        for i in 0..100 {
+            m.record(NodeId(1), SimTime::from_millis(i * 10));
+        }
+        m.record(NodeId(2), SimTime::from_millis(990));
+        assert_eq!(m.rate(NodeId(1), SimTime::from_millis(995)), 100.0);
+        assert_eq!(m.rate(NodeId(2), SimTime::from_millis(995)), 1.0);
+        assert_eq!(m.rate(NodeId(3), SimTime::from_millis(995)), 0.0);
+        assert_eq!(m.total(NodeId(1)), 100);
+        assert_eq!(m.total(NodeId(3)), 0);
+    }
+
+    #[test]
+    fn monitor_rate_decays() {
+        let mut m = PacketInMonitor::new(SimDuration::from_secs(1));
+        m.record(NodeId(1), SimTime::from_millis(0));
+        assert_eq!(m.rate(NodeId(1), SimTime::from_secs(5)), 0.0);
+    }
+
+    #[test]
+    fn heartbeat_lifecycle() {
+        let mut hb = HeartbeatTracker::new(SimDuration::from_secs(1), 3);
+        hb.register(NodeId(1), SimTime::ZERO);
+        assert!(hb.is_alive(NodeId(1), SimTime::from_secs(2)));
+        // Replies keep it alive.
+        hb.on_reply(NodeId(1), SimTime::from_secs(2));
+        assert!(hb.is_alive(NodeId(1), SimTime::from_secs(4)));
+        // Silence for > 3 periods kills it.
+        assert!(!hb.is_alive(NodeId(1), SimTime::from_secs(6)));
+        assert_eq!(hb.dead_nodes(SimTime::from_secs(6)), vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn unregistered_nodes_are_not_alive() {
+        let hb = HeartbeatTracker::new(SimDuration::from_secs(1), 3);
+        assert!(!hb.is_alive(NodeId(9), SimTime::ZERO));
+        assert!(hb.dead_nodes(SimTime::ZERO).is_empty());
+    }
+
+    #[test]
+    fn replies_from_strangers_are_ignored() {
+        let mut hb = HeartbeatTracker::new(SimDuration::from_secs(1), 1);
+        hb.on_reply(NodeId(5), SimTime::ZERO);
+        assert!(!hb.is_alive(NodeId(5), SimTime::ZERO));
+    }
+
+    #[test]
+    fn unregister_stops_tracking() {
+        let mut hb = HeartbeatTracker::new(SimDuration::from_secs(1), 1);
+        hb.register(NodeId(1), SimTime::ZERO);
+        hb.unregister(NodeId(1));
+        assert!(hb.tracked().is_empty());
+        assert!(hb.dead_nodes(SimTime::from_secs(100)).is_empty());
+    }
+
+    #[test]
+    fn nonces_are_unique() {
+        let mut hb = HeartbeatTracker::new(SimDuration::from_secs(1), 1);
+        let a = hb.next_nonce();
+        let b = hb.next_nonce();
+        assert_ne!(a, b);
+    }
+}

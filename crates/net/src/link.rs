@@ -1,0 +1,236 @@
+//! Directed links with finite bandwidth, propagation delay and a drop-tail
+//! queue.
+//!
+//! Transmission is modelled with a virtual clock (see
+//! [`scotch_sim::rate::FifoServer`]): serialization time is
+//! `size * 8 / rate`, jobs queue FIFO, and arrivals that would exceed the
+//! queue bound are dropped. This reproduces the paper's observation that
+//! the *data* plane is never the bottleneck in the DDoS experiments
+//! ("even at the peak attacking rate ... the traffic rate is merely
+//! 45.6 Mbps, a small fraction of the data link bandwidth").
+
+use scotch_sim::rate::{Admission, FifoServer};
+use scotch_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a directed link within a [`crate::Topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LinkId(pub u32);
+
+/// Static parameters of a link (applied to both directions of a duplex
+/// link).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkSpec {
+    /// Bit rate in bits per second.
+    pub rate_bps: f64,
+    /// One-way propagation delay.
+    pub propagation: SimDuration,
+    /// Drop-tail queue bound, in packets.
+    pub queue_packets: usize,
+    /// Random per-packet loss probability (fault injection; 0 = ideal
+    /// link). Takes effect only when the topology has fault injection
+    /// enabled with a seeded RNG.
+    pub loss: f64,
+}
+
+impl LinkSpec {
+    /// A link of `gbps` gigabits per second with the given propagation
+    /// delay in microseconds and a default 256-packet queue.
+    pub fn gbps(gbps: f64, propagation_us: u64) -> Self {
+        LinkSpec {
+            rate_bps: gbps * 1e9,
+            propagation: SimDuration::from_micros(propagation_us),
+            queue_packets: 256,
+            loss: 0.0,
+        }
+    }
+
+    /// 10 Gbps data-center cable, 5 µs propagation (the Pica8 data port).
+    pub fn tengig() -> Self {
+        Self::gbps(10.0, 5)
+    }
+
+    /// 1 Gbps link, 5 µs propagation (HP / vSwitch data ports, management
+    /// ports).
+    pub fn gig() -> Self {
+        Self::gbps(1.0, 5)
+    }
+
+    /// Builder-style queue bound override.
+    pub fn with_queue(mut self, packets: usize) -> Self {
+        self.queue_packets = packets;
+        self
+    }
+
+    /// Builder-style random loss probability (fault injection).
+    pub fn with_loss(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "loss must be a probability");
+        self.loss = p;
+        self
+    }
+}
+
+/// Result of offering a packet to a link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxResult {
+    /// Accepted; the packet arrives at the far end at `arrives_at`.
+    Delivered {
+        /// Arrival time at the receiving port.
+        arrives_at: SimTime,
+    },
+    /// Queue overflow; the packet is lost.
+    Dropped,
+}
+
+/// Dynamic state of one directed link.
+#[derive(Debug, Clone)]
+pub struct LinkState {
+    spec: LinkSpec,
+    server: FifoServer,
+    tx_packets: u64,
+    tx_bytes: u64,
+    drops: u64,
+    faulted: u64,
+}
+
+impl LinkState {
+    /// Fresh state for a link with the given spec.
+    pub fn new(spec: LinkSpec) -> Self {
+        LinkState {
+            server: FifoServer::new(spec.queue_packets),
+            spec,
+            tx_packets: 0,
+            tx_bytes: 0,
+            drops: 0,
+            faulted: 0,
+        }
+    }
+
+    /// Record a fault-injected loss (decided by the topology's fault RNG).
+    pub fn record_fault(&mut self) {
+        self.faulted += 1;
+    }
+
+    /// Packets lost to injected faults.
+    pub fn faulted(&self) -> u64 {
+        self.faulted
+    }
+
+    /// The link's static parameters.
+    pub fn spec(&self) -> &LinkSpec {
+        &self.spec
+    }
+
+    /// Offer a packet of `size_bytes` for transmission at `now`.
+    pub fn transmit(&mut self, now: SimTime, size_bytes: u32) -> TxResult {
+        let tx_time = SimDuration::from_secs_f64(size_bytes as f64 * 8.0 / self.spec.rate_bps);
+        match self.server.offer(now, tx_time) {
+            Admission::Accepted { departs_at } => {
+                self.tx_packets += 1;
+                self.tx_bytes += size_bytes as u64;
+                TxResult::Delivered {
+                    arrives_at: departs_at + self.spec.propagation,
+                }
+            }
+            Admission::Rejected => {
+                self.drops += 1;
+                TxResult::Dropped
+            }
+        }
+    }
+
+    /// Packets successfully transmitted.
+    pub fn tx_packets(&self) -> u64 {
+        self.tx_packets
+    }
+
+    /// Bytes successfully transmitted.
+    pub fn tx_bytes(&self) -> u64 {
+        self.tx_bytes
+    }
+
+    /// Packets dropped at the queue.
+    pub fn drops(&self) -> u64 {
+        self.drops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serialization_delay_scales_with_size() {
+        // 1 Gbps: 1500 B = 12 µs on the wire, plus 5 µs propagation.
+        let mut l = LinkState::new(LinkSpec::gig());
+        match l.transmit(SimTime::ZERO, 1500) {
+            TxResult::Delivered { arrives_at } => {
+                assert_eq!(arrives_at, SimTime::from_nanos(12_000 + 5_000));
+            }
+            TxResult::Dropped => panic!("should deliver"),
+        }
+    }
+
+    #[test]
+    fn back_to_back_packets_queue() {
+        let mut l = LinkState::new(LinkSpec::gig());
+        let a = match l.transmit(SimTime::ZERO, 1500) {
+            TxResult::Delivered { arrives_at } => arrives_at,
+            _ => panic!(),
+        };
+        let b = match l.transmit(SimTime::ZERO, 1500) {
+            TxResult::Delivered { arrives_at } => arrives_at,
+            _ => panic!(),
+        };
+        assert_eq!(b.duration_since(a), SimDuration::from_micros(12));
+    }
+
+    #[test]
+    fn overflow_drops() {
+        let mut l = LinkState::new(LinkSpec::gig().with_queue(2));
+        assert!(matches!(
+            l.transmit(SimTime::ZERO, 1500),
+            TxResult::Delivered { .. }
+        ));
+        assert!(matches!(
+            l.transmit(SimTime::ZERO, 1500),
+            TxResult::Delivered { .. }
+        ));
+        assert_eq!(l.transmit(SimTime::ZERO, 1500), TxResult::Dropped);
+        assert_eq!(l.drops(), 1);
+        assert_eq!(l.tx_packets(), 2);
+        assert_eq!(l.tx_bytes(), 3000);
+    }
+
+    #[test]
+    fn queue_frees_after_transmission() {
+        let mut l = LinkState::new(LinkSpec::gig().with_queue(1));
+        assert!(matches!(
+            l.transmit(SimTime::ZERO, 1500),
+            TxResult::Delivered { .. }
+        ));
+        assert_eq!(l.transmit(SimTime::ZERO, 1500), TxResult::Dropped);
+        // 20 µs later the first packet has left the queue.
+        assert!(matches!(
+            l.transmit(SimTime::from_nanos(20_000), 1500),
+            TxResult::Delivered { .. }
+        ));
+    }
+
+    #[test]
+    fn tengig_is_ten_times_faster() {
+        let mut slow = LinkState::new(LinkSpec::gig());
+        let mut fast = LinkState::new(LinkSpec::tengig());
+        let ts = match slow.transmit(SimTime::ZERO, 15_000) {
+            TxResult::Delivered { arrives_at } => arrives_at,
+            _ => panic!(),
+        };
+        let tf = match fast.transmit(SimTime::ZERO, 15_000) {
+            TxResult::Delivered { arrives_at } => arrives_at,
+            _ => panic!(),
+        };
+        let s = ts.as_nanos() - 5_000;
+        let f = tf.as_nanos() - 5_000;
+        assert_eq!(s, 10 * f);
+    }
+}

@@ -1,0 +1,180 @@
+//! Packets and the MPLS-style label stack.
+//!
+//! Scotch pushes up to two labels (§5.2): an **outer** tunnel label that
+//! identifies the tunnel (and therefore the originating physical switch),
+//! and an **inner** label carrying the ingress port at that switch ("an
+//! inner MPLS label is pushed into the packet header based on the ingress
+//! port"; with GRE, the GRE key plays the same role). The vSwitch strips
+//! the labels and attaches the information to the Packet-In metadata.
+
+use crate::flow::{FlowId, FlowKey};
+use crate::tunnel::TunnelId;
+use scotch_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// One entry of a packet's label stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Label {
+    /// Outer label: which tunnel the packet rides.
+    Tunnel(TunnelId),
+    /// Inner label: the ingress port at the originating physical switch.
+    IngressPort(u16),
+}
+
+/// What role a packet plays in its flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PacketKind {
+    /// First packet of a flow (a TCP SYN in the paper's experiments). This
+    /// is the packet that triggers the reactive Packet-In path.
+    FlowStart,
+    /// A subsequent data packet.
+    Data,
+}
+
+/// A simulated packet.
+///
+/// Only headers matter to Scotch, so the "payload" is just a byte count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Packet {
+    /// The 5-tuple.
+    pub key: FlowKey,
+    /// Accounting id of the owning flow.
+    pub flow_id: FlowId,
+    /// Role within the flow.
+    pub kind: PacketKind,
+    /// On-wire size in bytes, including headers.
+    pub size: u32,
+    /// Creation time (for end-to-end latency measurement).
+    pub born_at: SimTime,
+    /// Sequence number within the flow, 0-based.
+    pub seq: u32,
+    /// MPLS-style label stack; last element is the top of stack.
+    pub labels: Vec<Label>,
+    /// Marked true by generators for attack traffic, so metrics can
+    /// separate legitimate from malicious flows. Invisible to switches and
+    /// controller logic (no cheating: forwarding never reads it).
+    pub is_attack: bool,
+}
+
+/// Per-label encapsulation overhead in bytes (MPLS shim = 4 bytes; we use
+/// the same figure for the GRE-key variant for simplicity).
+pub const LABEL_OVERHEAD_BYTES: u32 = 4;
+
+impl Packet {
+    /// A flow's first packet (minimum-size TCP SYN unless overridden).
+    pub fn flow_start(key: FlowKey, flow_id: FlowId, born_at: SimTime) -> Self {
+        Packet {
+            key,
+            flow_id,
+            kind: PacketKind::FlowStart,
+            size: 64,
+            born_at,
+            seq: 0,
+            labels: Vec::new(),
+            is_attack: false,
+        }
+    }
+
+    /// A subsequent data packet of `size` bytes.
+    pub fn data(key: FlowKey, flow_id: FlowId, born_at: SimTime, seq: u32, size: u32) -> Self {
+        Packet {
+            key,
+            flow_id,
+            kind: PacketKind::Data,
+            size,
+            born_at,
+            seq,
+            labels: Vec::new(),
+            is_attack: false,
+        }
+    }
+
+    /// Builder-style attack marking.
+    pub fn attack(mut self) -> Self {
+        self.is_attack = true;
+        self
+    }
+
+    /// Builder-style size override.
+    pub fn with_size(mut self, size: u32) -> Self {
+        self.size = size;
+        self
+    }
+
+    /// Push a label onto the stack (encapsulation). Grows the wire size.
+    pub fn push_label(&mut self, label: Label) {
+        self.labels.push(label);
+        self.size += LABEL_OVERHEAD_BYTES;
+    }
+
+    /// Pop the top label (decapsulation). Shrinks the wire size.
+    pub fn pop_label(&mut self) -> Option<Label> {
+        let l = self.labels.pop();
+        if l.is_some() {
+            self.size = self.size.saturating_sub(LABEL_OVERHEAD_BYTES);
+        }
+        l
+    }
+
+    /// Top of the label stack without popping.
+    pub fn top_label(&self) -> Option<Label> {
+        self.labels.last().copied()
+    }
+
+    /// True if the packet currently rides a tunnel (outer label present).
+    pub fn is_tunneled(&self) -> bool {
+        matches!(self.top_label(), Some(Label::Tunnel(_)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::IpAddr;
+
+    fn key() -> FlowKey {
+        FlowKey::tcp(IpAddr::new(10, 0, 0, 1), 1234, IpAddr::new(10, 0, 1, 1), 80)
+    }
+
+    #[test]
+    fn label_stack_lifo() {
+        let mut p = Packet::flow_start(key(), FlowId(1), SimTime::ZERO);
+        let base = p.size;
+        p.push_label(Label::IngressPort(3));
+        p.push_label(Label::Tunnel(TunnelId(7)));
+        assert_eq!(p.size, base + 2 * LABEL_OVERHEAD_BYTES);
+        assert!(p.is_tunneled());
+        assert_eq!(p.pop_label(), Some(Label::Tunnel(TunnelId(7))));
+        assert!(!p.is_tunneled());
+        assert_eq!(p.pop_label(), Some(Label::IngressPort(3)));
+        assert_eq!(p.pop_label(), None);
+        assert_eq!(p.size, base);
+    }
+
+    #[test]
+    fn top_label_peeks() {
+        let mut p = Packet::flow_start(key(), FlowId(1), SimTime::ZERO);
+        assert_eq!(p.top_label(), None);
+        p.push_label(Label::Tunnel(TunnelId(1)));
+        assert_eq!(p.top_label(), Some(Label::Tunnel(TunnelId(1))));
+        assert_eq!(p.labels.len(), 1);
+    }
+
+    #[test]
+    fn builders() {
+        let p = Packet::data(key(), FlowId(2), SimTime::ZERO, 5, 1500)
+            .attack()
+            .with_size(900);
+        assert!(p.is_attack);
+        assert_eq!(p.size, 900);
+        assert_eq!(p.seq, 5);
+        assert_eq!(p.kind, PacketKind::Data);
+    }
+
+    #[test]
+    fn pop_on_empty_does_not_underflow_size() {
+        let mut p = Packet::flow_start(key(), FlowId(1), SimTime::ZERO).with_size(2);
+        assert_eq!(p.pop_label(), None);
+        assert_eq!(p.size, 2);
+    }
+}

@@ -1,0 +1,767 @@
+//! Flow tables and the multi-table pipeline.
+//!
+//! A [`FlowTable`] holds priority-ordered [`FlowEntry`]s with idle and hard
+//! timeouts and a bounded capacity (a full table rejects insertions — the
+//! TCAM-exhaustion failure mode of §3.3: "a new flow rule won't be
+//! installed at the flow table if it becomes full").
+//!
+//! A [`Pipeline`] chains tables OpenFlow-1.3 style: matching starts in
+//! table 0 and `GotoTable` instructions continue it. Scotch's physical
+//! switch uses two tables (§5.2): table 0 pushes the inner ingress-port
+//! label, table 1 holds the per-flow rules and the overlay default rule.
+
+use crate::ofmatch::{Action, Instruction, Match};
+use scotch_net::{Packet, PortId};
+use scotch_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Index of a flow table within a switch's pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TableId(pub u8);
+
+/// One installed rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowEntry {
+    /// Match condition.
+    pub matcher: Match,
+    /// Higher wins; ties break toward the earlier-installed entry.
+    pub priority: u16,
+    /// What to do on match.
+    pub instructions: Vec<Instruction>,
+    /// Controller-chosen opaque id (used for deletion and stats
+    /// correlation).
+    pub cookie: u64,
+    /// Remove if unmatched for this long (`None` = no idle timeout).
+    pub idle_timeout: Option<SimDuration>,
+    /// Remove unconditionally this long after installation.
+    pub hard_timeout: Option<SimDuration>,
+    /// Installation time (set by the table).
+    pub installed_at: SimTime,
+    /// Last time a packet hit this entry.
+    pub last_hit: SimTime,
+    /// Packets matched.
+    pub packet_count: u64,
+    /// Bytes matched.
+    pub byte_count: u64,
+}
+
+impl FlowEntry {
+    /// A rule with the given match, priority and instructions; no timeouts.
+    pub fn new(matcher: Match, priority: u16, instructions: Vec<Instruction>) -> Self {
+        FlowEntry {
+            matcher,
+            priority,
+            instructions,
+            cookie: 0,
+            idle_timeout: None,
+            hard_timeout: None,
+            installed_at: SimTime::ZERO,
+            last_hit: SimTime::ZERO,
+            packet_count: 0,
+            byte_count: 0,
+        }
+    }
+
+    /// Shorthand: match → apply a single action list.
+    pub fn apply(matcher: Match, priority: u16, actions: Vec<Action>) -> Self {
+        FlowEntry::new(matcher, priority, vec![Instruction::Apply(actions)])
+    }
+
+    /// Builder: set the cookie.
+    pub fn with_cookie(mut self, cookie: u64) -> Self {
+        self.cookie = cookie;
+        self
+    }
+
+    /// Builder: set the idle timeout.
+    pub fn with_idle_timeout(mut self, t: SimDuration) -> Self {
+        self.idle_timeout = Some(t);
+        self
+    }
+
+    /// Builder: set the hard timeout.
+    pub fn with_hard_timeout(mut self, t: SimDuration) -> Self {
+        self.hard_timeout = Some(t);
+        self
+    }
+
+    /// The first `Output` action among the entry's `Apply` instructions,
+    /// if any (handy for inspecting where a rule forwards).
+    pub fn first_output(&self) -> Option<Action> {
+        self.instructions.iter().find_map(|i| match i {
+            Instruction::Apply(acts) => acts
+                .iter()
+                .find(|a| matches!(a, Action::Output(_)))
+                .copied(),
+            Instruction::GotoTable(_) => None,
+        })
+    }
+
+    fn expired(&self, now: SimTime) -> bool {
+        if let Some(h) = self.hard_timeout {
+            if now.duration_since(self.installed_at) >= h {
+                return true;
+            }
+        }
+        if let Some(i) = self.idle_timeout {
+            if now.duration_since(self.last_hit) >= i {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Why an insertion failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertError {
+    /// The table is at capacity (TCAM full).
+    TableFull,
+}
+
+/// A bounded, priority-ordered flow table.
+///
+/// Internally a slab plus a `(src, dst)` hash index: per-flow rules (the
+/// overwhelming majority — both the paper's src/dst rules and microflow
+/// rules specify both addresses) are found in O(1); only the handful of
+/// "generic" rules (port-labelling defaults, label rules, wildcards) are
+/// scanned. Semantics are identical to a full priority scan.
+#[derive(Debug, Clone)]
+pub struct FlowTable {
+    /// Slab of entries; `None` marks a free slot.
+    slots: Vec<Option<FlowEntry>>,
+    /// Install order per slot, parallel to `slots`.
+    seqs: Vec<u64>,
+    /// Free slot indices for reuse.
+    free: Vec<usize>,
+    /// Slots of entries whose matcher specifies both `src` and `dst`.
+    by_src_dst: std::collections::HashMap<(scotch_net::IpAddr, scotch_net::IpAddr), Vec<usize>>,
+    /// Slots of all other (wildcard-ish) entries.
+    generic: Vec<usize>,
+    len: usize,
+    capacity: usize,
+    /// Monotone counter for deterministic tie-breaks.
+    install_seq: u64,
+}
+
+fn index_key(m: &Match) -> Option<(scotch_net::IpAddr, scotch_net::IpAddr)> {
+    match (m.src, m.dst) {
+        (Some(s), Some(d)) => Some((s, d)),
+        _ => None,
+    }
+}
+
+impl FlowTable {
+    /// A table holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "flow table must hold at least one entry");
+        FlowTable {
+            slots: Vec::new(),
+            seqs: Vec::new(),
+            free: Vec::new(),
+            by_src_dst: std::collections::HashMap::new(),
+            generic: Vec::new(),
+            len: 0,
+            capacity,
+            install_seq: 0,
+        }
+    }
+
+    /// Number of installed entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no entries are installed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn bucket(&self, m: &Match) -> &[usize] {
+        match index_key(m) {
+            Some(k) => self.by_src_dst.get(&k).map(|v| v.as_slice()).unwrap_or(&[]),
+            None => &self.generic,
+        }
+    }
+
+    fn unlink(&mut self, slot: usize, matcher: &Match) {
+        match index_key(matcher) {
+            Some(k) => {
+                if let Some(v) = self.by_src_dst.get_mut(&k) {
+                    v.retain(|&s| s != slot);
+                    if v.is_empty() {
+                        self.by_src_dst.remove(&k);
+                    }
+                }
+            }
+            None => self.generic.retain(|&s| s != slot),
+        }
+    }
+
+    fn take_slot(&mut self, slot: usize) -> FlowEntry {
+        let e = self.slots[slot].take().expect("occupied slot");
+        self.unlink(slot, &e.matcher);
+        self.free.push(slot);
+        self.len -= 1;
+        e
+    }
+
+    /// Install an entry at `now`. Identical (match, priority) replaces the
+    /// existing entry, OpenFlow-style; otherwise a full table rejects.
+    pub fn insert(&mut self, now: SimTime, mut entry: FlowEntry) -> Result<(), InsertError> {
+        entry.installed_at = now;
+        entry.last_hit = now;
+        // Replacement: same (match, priority).
+        let existing = self.bucket(&entry.matcher).iter().copied().find(|&s| {
+            let e = self.slots[s].as_ref().expect("indexed slot occupied");
+            e.matcher == entry.matcher && e.priority == entry.priority
+        });
+        if let Some(slot) = existing {
+            self.slots[slot] = Some(entry);
+            return Ok(());
+        }
+        if self.len >= self.capacity {
+            return Err(InsertError::TableFull);
+        }
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s] = Some(entry);
+                self.seqs[s] = self.install_seq;
+                s
+            }
+            None => {
+                self.slots.push(Some(entry));
+                self.seqs.push(self.install_seq);
+                self.slots.len() - 1
+            }
+        };
+        self.install_seq += 1;
+        self.len += 1;
+        let matcher = self.slots[slot].as_ref().unwrap().matcher;
+        match index_key(&matcher) {
+            Some(k) => self.by_src_dst.entry(k).or_default().push(slot),
+            None => self.generic.push(slot),
+        }
+        Ok(())
+    }
+
+    /// Remove all entries with the given cookie; returns how many were
+    /// removed.
+    pub fn remove_by_cookie(&mut self, cookie: u64) -> usize {
+        let victims: Vec<usize> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.as_ref().map(|e| e.cookie == cookie).unwrap_or(false))
+            .map(|(i, _)| i)
+            .collect();
+        for slot in &victims {
+            self.take_slot(*slot);
+        }
+        victims.len()
+    }
+
+    /// Remove entries whose match equals `matcher` exactly; returns count.
+    pub fn remove_exact(&mut self, matcher: &Match) -> usize {
+        let victims: Vec<usize> = self
+            .bucket(matcher)
+            .iter()
+            .copied()
+            .filter(|&s| {
+                self.slots[s]
+                    .as_ref()
+                    .map(|e| &e.matcher == matcher)
+                    .unwrap_or(false)
+            })
+            .collect();
+        for slot in &victims {
+            self.take_slot(*slot);
+        }
+        victims.len()
+    }
+
+    /// Remove every entry (non-strict delete with an empty match);
+    /// returns how many were removed.
+    pub fn clear(&mut self) -> usize {
+        let n = self.len;
+        self.slots.clear();
+        self.seqs.clear();
+        self.free.clear();
+        self.by_src_dst.clear();
+        self.generic.clear();
+        self.len = 0;
+        n
+    }
+
+    /// Drop expired entries; returns the removed entries (so the switch can
+    /// emit FlowRemoved messages).
+    pub fn expire(&mut self, now: SimTime) -> Vec<FlowEntry> {
+        let victims: Vec<usize> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.as_ref().map(|e| e.expired(now)).unwrap_or(false))
+            .map(|(i, _)| i)
+            .collect();
+        victims.into_iter().map(|s| self.take_slot(s)).collect()
+    }
+
+    /// Best-match lookup without mutating counters.
+    pub fn lookup(&self, packet: &Packet, in_port: PortId) -> Option<&FlowEntry> {
+        self.best_slot(packet, in_port)
+            .map(|i| self.slots[i].as_ref().unwrap())
+    }
+
+    fn best_slot(&self, packet: &Packet, in_port: PortId) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        let indexed = self
+            .by_src_dst
+            .get(&(packet.key.src, packet.key.dst))
+            .map(|v| v.as_slice())
+            .unwrap_or(&[]);
+        for &i in indexed.iter().chain(self.generic.iter()) {
+            let Some(e) = self.slots[i].as_ref() else {
+                continue;
+            };
+            if !e.matcher.matches(packet, in_port) {
+                continue;
+            }
+            match best {
+                None => best = Some(i),
+                Some(b) => {
+                    let eb = self.slots[b].as_ref().unwrap();
+                    if e.priority > eb.priority
+                        || (e.priority == eb.priority && self.seqs[i] < self.seqs[b])
+                    {
+                        best = Some(i);
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// Best-match lookup, bumping hit counters and the idle-timeout clock.
+    pub fn match_packet(
+        &mut self,
+        now: SimTime,
+        packet: &Packet,
+        in_port: PortId,
+    ) -> Option<&FlowEntry> {
+        let idx = self.best_slot(packet, in_port)?;
+        let e = self.slots[idx].as_mut().unwrap();
+        e.packet_count += 1;
+        e.byte_count += packet.size as u64;
+        e.last_hit = now;
+        Some(self.slots[idx].as_ref().unwrap())
+    }
+
+    /// Iterate over installed entries (stats collection).
+    pub fn iter(&self) -> impl Iterator<Item = &FlowEntry> {
+        self.slots.iter().filter_map(|e| e.as_ref())
+    }
+}
+
+/// Result of running a packet through a [`Pipeline`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineVerdict {
+    /// Apply these actions (in order) to the packet.
+    Actions(Vec<Action>),
+    /// No table entry matched (table-miss).
+    Miss,
+}
+
+/// An ordered chain of flow tables, processed OpenFlow-1.3 style.
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    tables: Vec<FlowTable>,
+}
+
+impl Pipeline {
+    /// A pipeline of `n` tables, each with the given capacity.
+    pub fn new(n_tables: usize, capacity_per_table: usize) -> Self {
+        assert!(n_tables > 0);
+        Pipeline {
+            tables: (0..n_tables)
+                .map(|_| FlowTable::new(capacity_per_table))
+                .collect(),
+        }
+    }
+
+    /// Access one table.
+    pub fn table(&self, id: TableId) -> &FlowTable {
+        &self.tables[id.0 as usize]
+    }
+
+    /// Mutable access to one table.
+    pub fn table_mut(&mut self, id: TableId) -> &mut FlowTable {
+        &mut self.tables[id.0 as usize]
+    }
+
+    /// Number of tables.
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Total entries across all tables.
+    pub fn total_entries(&self) -> usize {
+        self.tables.iter().map(|t| t.len()).sum()
+    }
+
+    /// Expire entries in every table; returns removed entries tagged with
+    /// their table.
+    pub fn expire(&mut self, now: SimTime) -> Vec<(TableId, FlowEntry)> {
+        let mut all = Vec::new();
+        for (i, t) in self.tables.iter_mut().enumerate() {
+            for e in t.expire(now) {
+                all.push((TableId(i as u8), e));
+            }
+        }
+        all
+    }
+
+    /// Run `packet` through the pipeline starting at table 0, following
+    /// `GotoTable` instructions and accumulating applied actions.
+    ///
+    /// `GotoTable` may only move forward (OpenFlow forbids loops); a
+    /// backwards goto terminates processing with whatever actions have been
+    /// gathered.
+    pub fn process(&mut self, now: SimTime, packet: &Packet, in_port: PortId) -> PipelineVerdict {
+        let mut actions = Vec::new();
+        let mut table = 0usize;
+        let mut matched_any = false;
+        while let Some(entry) = self.tables[table].match_packet(now, packet, in_port) {
+            matched_any = true;
+            let mut next: Option<usize> = None;
+            for inst in &entry.instructions {
+                match inst {
+                    Instruction::Apply(acts) => actions.extend(acts.iter().copied()),
+                    Instruction::GotoTable(t) => {
+                        if (t.0 as usize) > table {
+                            next = Some(t.0 as usize);
+                        }
+                    }
+                }
+            }
+            match next {
+                Some(t) if t < self.tables.len() => table = t,
+                _ => break,
+            }
+        }
+        if matched_any {
+            PipelineVerdict::Actions(actions)
+        } else {
+            PipelineVerdict::Miss
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use scotch_net::{FlowId, FlowKey, IpAddr};
+
+    fn pkt(sport: u16) -> Packet {
+        Packet::flow_start(
+            FlowKey::tcp(IpAddr::new(1, 0, 0, 1), sport, IpAddr::new(2, 0, 0, 2), 80),
+            FlowId(sport as u64),
+            SimTime::ZERO,
+        )
+    }
+
+    #[test]
+    fn highest_priority_wins() {
+        let mut t = FlowTable::new(10);
+        t.insert(
+            SimTime::ZERO,
+            FlowEntry::apply(Match::ANY, 1, vec![Action::Drop]),
+        )
+        .unwrap();
+        t.insert(
+            SimTime::ZERO,
+            FlowEntry::apply(
+                Match::exact(pkt(5).key),
+                10,
+                vec![Action::Output(PortId(1))],
+            ),
+        )
+        .unwrap();
+        let hit = t.lookup(&pkt(5), PortId(0)).unwrap();
+        assert_eq!(hit.priority, 10);
+        // Non-matching flow falls to the wildcard.
+        let miss = t.lookup(&pkt(6), PortId(0)).unwrap();
+        assert_eq!(miss.priority, 1);
+    }
+
+    #[test]
+    fn equal_priority_prefers_earlier_install() {
+        let mut t = FlowTable::new(10);
+        t.insert(
+            SimTime::ZERO,
+            FlowEntry::apply(Match::ANY, 5, vec![Action::Output(PortId(1))]).with_cookie(1),
+        )
+        .unwrap();
+        t.insert(
+            SimTime::ZERO,
+            FlowEntry::apply(Match::on_port(PortId(0)), 5, vec![Action::Drop]).with_cookie(2),
+        )
+        .unwrap();
+        assert_eq!(t.lookup(&pkt(1), PortId(0)).unwrap().cookie, 1);
+    }
+
+    #[test]
+    fn capacity_rejects_and_replacement_does_not() {
+        let mut t = FlowTable::new(2);
+        t.insert(
+            SimTime::ZERO,
+            FlowEntry::apply(Match::exact(pkt(1).key), 1, vec![]),
+        )
+        .unwrap();
+        t.insert(
+            SimTime::ZERO,
+            FlowEntry::apply(Match::exact(pkt(2).key), 1, vec![]),
+        )
+        .unwrap();
+        assert_eq!(
+            t.insert(
+                SimTime::ZERO,
+                FlowEntry::apply(Match::exact(pkt(3).key), 1, vec![])
+            ),
+            Err(InsertError::TableFull)
+        );
+        // Same (match, priority) replaces in place even when full.
+        t.insert(
+            SimTime::ZERO,
+            FlowEntry::apply(Match::exact(pkt(1).key), 1, vec![Action::Drop]),
+        )
+        .unwrap();
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut t = FlowTable::new(4);
+        t.insert(SimTime::ZERO, FlowEntry::apply(Match::ANY, 1, vec![]))
+            .unwrap();
+        t.match_packet(SimTime::from_secs(1), &pkt(1).with_size(100), PortId(0));
+        t.match_packet(SimTime::from_secs(2), &pkt(1).with_size(200), PortId(0));
+        let e = t.iter().next().unwrap();
+        assert_eq!(e.packet_count, 2);
+        assert_eq!(e.byte_count, 300);
+        assert_eq!(e.last_hit, SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn hard_timeout_expires() {
+        let mut t = FlowTable::new(4);
+        t.insert(
+            SimTime::from_secs(10),
+            FlowEntry::apply(Match::ANY, 1, vec![]).with_hard_timeout(SimDuration::from_secs(10)),
+        )
+        .unwrap();
+        assert!(t.expire(SimTime::from_secs(15)).is_empty());
+        let removed = t.expire(SimTime::from_secs(20));
+        assert_eq!(removed.len(), 1);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn idle_timeout_resets_on_hit() {
+        let mut t = FlowTable::new(4);
+        t.insert(
+            SimTime::ZERO,
+            FlowEntry::apply(Match::ANY, 1, vec![]).with_idle_timeout(SimDuration::from_secs(5)),
+        )
+        .unwrap();
+        // A hit at t=4 pushes expiry to t=9.
+        t.match_packet(SimTime::from_secs(4), &pkt(1), PortId(0));
+        assert!(t.expire(SimTime::from_secs(8)).is_empty());
+        assert_eq!(t.expire(SimTime::from_secs(9)).len(), 1);
+    }
+
+    #[test]
+    fn remove_by_cookie_and_exact() {
+        let mut t = FlowTable::new(8);
+        for i in 0..4 {
+            t.insert(
+                SimTime::ZERO,
+                FlowEntry::apply(Match::exact(pkt(i).key), 1, vec![]).with_cookie(i as u64 % 2),
+            )
+            .unwrap();
+        }
+        assert_eq!(t.remove_by_cookie(0), 2);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.remove_exact(&Match::exact(pkt(1).key)), 1);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn pipeline_two_table_scotch_shape() {
+        // Table 0: label the ingress port, goto table 1.
+        // Table 1: default rule sends to the group.
+        let mut p = Pipeline::new(2, 100);
+        p.table_mut(TableId(0))
+            .insert(
+                SimTime::ZERO,
+                FlowEntry::new(
+                    Match::on_port(PortId(3)),
+                    1,
+                    vec![
+                        Instruction::Apply(vec![Action::push_ingress(PortId(3))]),
+                        Instruction::GotoTable(TableId(1)),
+                    ],
+                ),
+            )
+            .unwrap();
+        p.table_mut(TableId(1))
+            .insert(
+                SimTime::ZERO,
+                FlowEntry::apply(Match::ANY, 0, vec![Action::Group(crate::group::GroupId(1))]),
+            )
+            .unwrap();
+        match p.process(SimTime::ZERO, &pkt(1), PortId(3)) {
+            PipelineVerdict::Actions(a) => {
+                assert_eq!(
+                    a,
+                    vec![
+                        Action::push_ingress(PortId(3)),
+                        Action::Group(crate::group::GroupId(1))
+                    ]
+                );
+            }
+            PipelineVerdict::Miss => panic!("expected actions"),
+        }
+    }
+
+    #[test]
+    fn pipeline_miss_when_nothing_matches() {
+        let mut p = Pipeline::new(1, 10);
+        assert_eq!(
+            p.process(SimTime::ZERO, &pkt(1), PortId(0)),
+            PipelineVerdict::Miss
+        );
+    }
+
+    #[test]
+    fn pipeline_ignores_backward_goto() {
+        let mut p = Pipeline::new(2, 10);
+        p.table_mut(TableId(1))
+            .insert(
+                SimTime::ZERO,
+                FlowEntry::new(Match::ANY, 1, vec![Instruction::GotoTable(TableId(0))]),
+            )
+            .unwrap();
+        p.table_mut(TableId(0))
+            .insert(
+                SimTime::ZERO,
+                FlowEntry::new(
+                    Match::ANY,
+                    1,
+                    vec![
+                        Instruction::Apply(vec![Action::Output(PortId(1))]),
+                        Instruction::GotoTable(TableId(1)),
+                    ],
+                ),
+            )
+            .unwrap();
+        // Must terminate (no loop) and keep the applied action.
+        match p.process(SimTime::ZERO, &pkt(1), PortId(0)) {
+            PipelineVerdict::Actions(a) => assert_eq!(a, vec![Action::Output(PortId(1))]),
+            PipelineVerdict::Miss => panic!(),
+        }
+    }
+
+    proptest! {
+        /// The matched entry always has the maximal priority among matching
+        /// entries.
+        #[test]
+        fn prop_lookup_maximal_priority(
+            prios in proptest::collection::vec(0u16..100, 1..50),
+            probe in 0u16..50,
+        ) {
+            let mut t = FlowTable::new(prios.len());
+            for (i, p) in prios.iter().enumerate() {
+                // Half the entries match only one sport, half match all.
+                let m = if i % 2 == 0 {
+                    Match::ANY
+                } else {
+                    Match { sport: Some(i as u16), ..Match::ANY }
+                };
+                t.insert(SimTime::ZERO, FlowEntry::apply(m, *p, vec![])).unwrap();
+            }
+            let packet = pkt(probe);
+            if let Some(hit) = t.lookup(&packet, PortId(0)) {
+                let max = t
+                    .iter()
+                    .filter(|e| e.matcher.matches(&packet, PortId(0)))
+                    .map(|e| e.priority)
+                    .max()
+                    .unwrap();
+                prop_assert_eq!(hit.priority, max);
+            }
+        }
+
+        /// The indexed lookup agrees with a naive full scan on arbitrary
+        /// rule sets (the index is an optimization, never a semantic
+        /// change).
+        #[test]
+        fn prop_index_equals_full_scan(
+            specs in proptest::collection::vec((0u16..8, 0u16..8, 0u16..4, 0u16..50), 1..60),
+            probe_sport in 0u16..8,
+            probe_port in 0u16..4,
+        ) {
+            let mut t = FlowTable::new(specs.len());
+            let mut naive: Vec<(Match, u16, u64)> = Vec::new();
+            for (i, (kind, sport, port, prio)) in specs.iter().enumerate() {
+                // Mix of indexed (src+dst) and generic (wildcard) rules.
+                let m = match kind % 4 {
+                    0 => Match::exact(pkt(*sport).key),
+                    1 => Match::src_dst(pkt(*sport).key.src, pkt(*sport).key.dst),
+                    2 => Match::on_port(PortId(*port)),
+                    _ => Match { sport: Some(*sport), ..Match::ANY },
+                };
+                let _ = t.insert(
+                    SimTime::ZERO,
+                    FlowEntry::apply(m, *prio, vec![]).with_cookie(i as u64),
+                );
+                // Mirror replacement semantics in the oracle.
+                if let Some(e) = naive.iter_mut().find(|(om, op, _)| *om == m && *op == *prio) {
+                    e.2 = i as u64;
+                } else if naive.len() < specs.len() {
+                    naive.push((m, *prio, i as u64));
+                }
+            }
+            let packet = pkt(probe_sport);
+            let got = t.lookup(&packet, PortId(probe_port)).map(|e| e.cookie);
+            // Oracle: max priority; ties break toward the earliest install
+            // (replacement keeps the original position, hence `naive`'s
+            // vector order IS install order).
+            let want = naive
+                .iter()
+                .enumerate()
+                .filter(|(_, (m, _, _))| m.matches(&packet, PortId(probe_port)))
+                .max_by(|(ia, (_, pa, _)), (ib, (_, pb, _))| pa.cmp(pb).then(ib.cmp(ia)))
+                .map(|(_, (_, _, c))| *c);
+            prop_assert_eq!(got, want);
+        }
+
+        /// Inserting then removing by cookie leaves no trace of that cookie.
+        #[test]
+        fn prop_remove_by_cookie_complete(cookies in proptest::collection::vec(0u64..5, 1..40)) {
+            let mut t = FlowTable::new(cookies.len());
+            for (i, c) in cookies.iter().enumerate() {
+                let m = Match { sport: Some(i as u16), ..Match::ANY };
+                t.insert(SimTime::ZERO, FlowEntry::apply(m, 1, vec![]).with_cookie(*c)).unwrap();
+            }
+            let removed = t.remove_by_cookie(3);
+            prop_assert_eq!(removed, cookies.iter().filter(|&&c| c == 3).count());
+            prop_assert!(t.iter().all(|e| e.cookie != 3));
+        }
+    }
+}

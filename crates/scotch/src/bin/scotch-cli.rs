@@ -1,0 +1,344 @@
+//! Command-line front end for the Scotch simulator.
+//!
+//! ```text
+//! scotch-cli [OPTIONS]
+//!
+//! Topology:
+//!   --scenario <datacenter|single|multirack>   (default: datacenter)
+//!   --mesh <N>          mesh vSwitches                  (default: 4)
+//!   --racks <N>         racks for multirack             (default: 3)
+//!   --servers <N>       servers (datacenter)            (default: 2)
+//!   --middlebox         stateful firewall on server 0
+//!
+//! Workload:
+//!   --attack <RATE>     spoofed flood, flows/s
+//!   --attack-window <START> <END>   restrict the flood to [start, end) s
+//!   --clients <RATE>    probe clients, flows/s          (default: 100)
+//!   --trace <RATE>      Poisson/Pareto DC trace, flows/s
+//!   --elephants <N> <PPS> <PKTS>    inject N paced elephants at t=2s
+//!   --link-loss <P>     random per-packet loss on every link
+//!
+//! Control:
+//!   --baseline          plain reactive controller (no Scotch)
+//!   --seed <N>          RNG seed                        (default: 1)
+//!   --duration <SECS>   simulated seconds               (default: 10)
+//!   --json              machine-readable summary on stdout
+//!   --pcap <NODE> <FILE>  capture packets arriving at the named node
+//! ```
+
+use scotch::app::ControllerMode;
+use scotch::scenario::Scenario;
+use scotch_sim::SimDuration;
+use scotch_sim::SimTime;
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+struct Options {
+    scenario: String,
+    mesh: usize,
+    racks: usize,
+    servers: usize,
+    middlebox: bool,
+    attack: Option<f64>,
+    attack_window: Option<(f64, f64)>,
+    clients: f64,
+    trace: Option<f64>,
+    elephants: Option<(usize, f64, u32)>,
+    link_loss: f64,
+    baseline: bool,
+    seed: u64,
+    duration: f64,
+    json: bool,
+    pcap: Option<(String, String)>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            scenario: "datacenter".into(),
+            mesh: 4,
+            racks: 3,
+            servers: 2,
+            middlebox: false,
+            attack: None,
+            attack_window: None,
+            clients: 100.0,
+            trace: None,
+            elephants: None,
+            link_loss: 0.0,
+            baseline: false,
+            seed: 1,
+            duration: 10.0,
+            json: false,
+            pcap: None,
+        }
+    }
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut o = Options::default();
+    let mut i = 0;
+    let next = |i: &mut usize| -> Result<String, String> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("missing value after {}", args[*i - 1]))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scenario" => o.scenario = next(&mut i)?,
+            "--mesh" => o.mesh = next(&mut i)?.parse().map_err(|e| format!("--mesh: {e}"))?,
+            "--racks" => o.racks = next(&mut i)?.parse().map_err(|e| format!("--racks: {e}"))?,
+            "--servers" => {
+                o.servers = next(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--servers: {e}"))?
+            }
+            "--middlebox" => o.middlebox = true,
+            "--attack" => {
+                o.attack = Some(
+                    next(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("--attack: {e}"))?,
+                )
+            }
+            "--attack-window" => {
+                let start: f64 = next(&mut i)?.parse().map_err(|e| format!("window: {e}"))?;
+                let end: f64 = next(&mut i)?.parse().map_err(|e| format!("window: {e}"))?;
+                o.attack_window = Some((start, end));
+            }
+            "--clients" => {
+                o.clients = next(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--clients: {e}"))?
+            }
+            "--trace" => {
+                o.trace = Some(next(&mut i)?.parse().map_err(|e| format!("--trace: {e}"))?)
+            }
+            "--elephants" => {
+                let n: usize = next(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("elephants: {e}"))?;
+                let pps: f64 = next(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("elephants: {e}"))?;
+                let pkts: u32 = next(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("elephants: {e}"))?;
+                o.elephants = Some((n, pps, pkts));
+            }
+            "--link-loss" => {
+                o.link_loss = next(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--link-loss: {e}"))?
+            }
+            "--baseline" => o.baseline = true,
+            "--seed" => o.seed = next(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--duration" => {
+                o.duration = next(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--duration: {e}"))?
+            }
+            "--json" => o.json = true,
+            "--pcap" => {
+                let node = next(&mut i)?;
+                let file = next(&mut i)?;
+                o.pcap = Some((node, file));
+            }
+            "--help" | "-h" => return Err("help".into()),
+            other => return Err(format!("unknown option {other}")),
+        }
+        i += 1;
+    }
+    if !matches!(o.scenario.as_str(), "datacenter" | "single" | "multirack") {
+        return Err(format!("unknown scenario '{}'", o.scenario));
+    }
+    Ok(o)
+}
+
+fn build_scenario(o: &Options) -> Scenario {
+    let mut s = match o.scenario.as_str() {
+        "single" => Scenario::single_switch(scotch_switch::SwitchProfile::pica8_pronto_3780()),
+        "multirack" => Scenario::multirack(o.racks, o.mesh.max(1)),
+        _ => Scenario::overlay_datacenter(o.mesh).with_servers(o.servers),
+    };
+    if o.middlebox {
+        s = s.with_middlebox();
+    }
+    match (o.attack, o.attack_window) {
+        (Some(rate), Some((start, end))) => {
+            s = s.with_attack_window(
+                rate,
+                SimTime::from_secs_f64(start),
+                SimTime::from_secs_f64(end),
+            )
+        }
+        (Some(rate), None) => s = s.with_attack(rate),
+        _ => {}
+    }
+    if o.clients > 0.0 {
+        s = s.with_clients(o.clients);
+    }
+    if let Some(rate) = o.trace {
+        s = s.with_trace(rate);
+    }
+    if let Some((n, pps, pkts)) = o.elephants {
+        s = s.with_elephants(n, pps, pkts, SimTime::from_secs(2));
+    }
+    if o.link_loss > 0.0 {
+        s = s.with_link_loss(o.link_loss);
+    }
+    if o.baseline {
+        s = s.with_mode(ControllerMode::Baseline);
+    }
+    s
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            if e != "help" {
+                eprintln!("error: {e}\n");
+            }
+            eprintln!("usage: see the doc comment at the top of scotch-cli.rs, or README.md");
+            std::process::exit(if e == "help" { 0 } else { 2 });
+        }
+    };
+
+    let mut sim = build_scenario(&opts).build(opts.seed);
+    let pcap_node = opts.pcap.as_ref().and_then(|(name, _)| {
+        let found = (0..sim.topo.node_count() as u32)
+            .map(scotch_net::NodeId)
+            .find(|n| sim.topo.name(*n) == name);
+        if let Some(n) = found {
+            sim.capture_at(n);
+        } else {
+            eprintln!("warning: no node named '{name}'; capture disabled");
+        }
+        found
+    });
+
+    let horizon = SimTime::from_secs_f64(opts.duration);
+    let report = sim.run(horizon);
+
+    if let (Some(node), Some((_, file))) = (pcap_node, opts.pcap.as_ref()) {
+        if let Some(cap) = report.captures.get(&node) {
+            if let Err(e) = std::fs::write(file, cap.bytes()) {
+                eprintln!("warning: failed to write {file}: {e}");
+            } else {
+                eprintln!("wrote {} packets to {file}", cap.records());
+            }
+        }
+    }
+
+    let steady = report.client_failure_fraction_between(
+        SimTime::from_secs(1),
+        horizon.saturating_sub(SimDuration::from_secs(1)),
+    );
+    if opts.json {
+        // Hand-rolled JSON keeps the CLI dependency-free; the bench crate
+        // offers full serde output.
+        println!(
+            "{{\"flows\":{},\"client_flows\":{},\"attack_flows\":{},\
+             \"client_failure\":{:.6},\"client_failure_steady\":{:.6},\
+             \"physical_admitted\":{},\"overlay_admitted\":{},\"migrations\":{},\
+             \"activations\":{},\"withdrawals\":{},\"failovers\":{},\
+             \"drops_ofa\":{},\"drops_dataplane\":{},\"drops_link\":{},\
+             \"events\":{}}}",
+            report.flows.len(),
+            report.client_flows(),
+            report.attack_flows(),
+            report.client_failure_fraction(),
+            steady,
+            report.app.physical_admitted,
+            report.app.overlay_admitted,
+            report.app.migrations,
+            report.app.activations,
+            report.app.withdrawals,
+            report.app.failovers,
+            report.drops.ofa_overload,
+            report.drops.dataplane,
+            report.drops.link_queue,
+            report.events_processed,
+        );
+    } else {
+        println!("{}", report.summary());
+        println!(
+            "steady-state client failure (excluding first/last second): {:.2}%",
+            steady * 100.0
+        );
+        if let Some(fct) = report.mean_client_fct() {
+            println!("mean client flow completion time: {:.4}s", fct);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<Options, String> {
+        let args: Vec<String> = s.split_whitespace().map(String::from).collect();
+        parse_args(&args)
+    }
+
+    #[test]
+    fn defaults() {
+        let o = parse("").unwrap();
+        assert_eq!(o, Options::default());
+    }
+
+    #[test]
+    fn full_flag_set() {
+        let o = parse(
+            "--scenario multirack --racks 4 --mesh 2 --attack 2500 --clients 80 \
+             --elephants 3 1000 5000 --link-loss 0.01 --seed 9 --duration 12 --json",
+        )
+        .unwrap();
+        assert_eq!(o.scenario, "multirack");
+        assert_eq!(o.racks, 4);
+        assert_eq!(o.mesh, 2);
+        assert_eq!(o.attack, Some(2500.0));
+        assert_eq!(o.clients, 80.0);
+        assert_eq!(o.elephants, Some((3, 1000.0, 5000)));
+        assert_eq!(o.link_loss, 0.01);
+        assert_eq!(o.seed, 9);
+        assert_eq!(o.duration, 12.0);
+        assert!(o.json);
+    }
+
+    #[test]
+    fn attack_window_pairs() {
+        let o = parse("--attack 2000 --attack-window 1 4").unwrap();
+        assert_eq!(o.attack_window, Some((1.0, 4.0)));
+    }
+
+    #[test]
+    fn rejects_unknown_flag() {
+        assert!(parse("--bogus").is_err());
+    }
+
+    #[test]
+    fn rejects_missing_value() {
+        assert!(parse("--attack").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_scenario() {
+        assert!(parse("--scenario ring").is_err());
+    }
+
+    #[test]
+    fn build_scenarios_do_not_panic() {
+        for s in ["single", "datacenter", "multirack"] {
+            let o = Options {
+                scenario: s.into(),
+                attack: Some(500.0),
+                ..Options::default()
+            };
+            let _sim = build_scenario(&o).build(1);
+        }
+    }
+}

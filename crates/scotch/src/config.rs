@@ -1,0 +1,196 @@
+//! Scotch configuration.
+
+use scotch_openflow::SelectionPolicy;
+use scotch_sim::SimDuration;
+
+/// How new flows are grouped into the controller's fair-share queues
+/// (§5.2: "we can classify the flows into different groups and enforce
+/// fair sharing of the SDN network across groups").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FairnessPolicy {
+    /// One queue per (switch, ingress port) — the paper's worked example
+    /// ("if a DDoS attack comes from one or a few ports, we can limit its
+    /// impact to those ports only").
+    IngressPort,
+    /// One queue per source-address prefix of the given length. Useful
+    /// when sources cannot spoof (ingress-filtered networks); against a
+    /// whole-address-space spoofing flood it degenerates, because the
+    /// attacker claims every queue — prefer [`FairnessPolicy::Customers`]
+    /// there.
+    SourcePrefix(u8),
+    /// One queue per *known* customer block `(address, prefix_len)`, plus
+    /// one shared default queue for every unknown source — the paper's
+    /// "group the flows according to which customer it belongs to".
+    /// Spoofed floods from arbitrary addresses all land in the default
+    /// queue and can starve only its share.
+    Customers(Vec<(scotch_net::IpAddr, u8)>),
+    /// A single shared queue (no fairness; the E11 ablation arm).
+    None,
+}
+
+/// All Scotch tunables, with paper-calibrated defaults.
+#[derive(Debug, Clone)]
+pub struct ScotchConfig {
+    /// Packet-In rate (per switch, flows/s) above which the overlay is
+    /// activated (§4.2: the controller "monitors the rate of Packet-In
+    /// messages ... to determine if the control path is congested").
+    /// Default 160/s — 80 % of the Pica8 OFA capacity.
+    pub activation_threshold: f64,
+    /// New-flow rate below which withdrawal begins (§5.5). Must be well
+    /// under the activation threshold to avoid flapping.
+    pub withdrawal_threshold: f64,
+    /// Consecutive seconds under the withdrawal threshold before
+    /// withdrawing.
+    pub withdrawal_hold: SimDuration,
+    /// Per-switch rule budget `R`, rules/s. `None` uses each switch
+    /// profile's lossless insertion rate (§6.1: "the OpenFlow controller
+    /// should only insert the flow rules at a rate that does not cause
+    /// installation failure").
+    pub rule_budget: Option<f64>,
+    /// Ingress queue length beyond which new flows are routed over the
+    /// overlay (§5.2's *overlay threshold*).
+    pub overlay_threshold: usize,
+    /// Ingress queue length beyond which Packet-Ins are dropped (§5.2's
+    /// *dropping threshold*).
+    pub drop_threshold: usize,
+    /// Enable per-ingress-port queues (disable for the E11 ablation: one
+    /// shared queue per switch). Shorthand: `true` ≡
+    /// [`FairnessPolicy::IngressPort`], `false` ≡ [`FairnessPolicy::None`];
+    /// `fairness` overrides when set to `SourcePrefix`.
+    pub ingress_differentiation: bool,
+    /// Flow-grouping policy for the fair-share queues (§5.2).
+    pub fairness: FairnessPolicy,
+    /// Bucket selection for the load-balancing select group (§5.1).
+    pub lb_policy: SelectionPolicy,
+    /// Interval between FlowStats polls of the mesh vSwitches (§5.3).
+    pub stats_poll_interval: SimDuration,
+    /// A flow is an elephant once a poll sees it exceed this rate
+    /// (packets/s) since the previous poll.
+    pub elephant_pps: f64,
+    /// Enable large-flow migration (disable for the A1 ablation).
+    pub migration_enabled: bool,
+    /// Idle timeout for per-flow rules (physical and vSwitch).
+    pub rule_idle_timeout: SimDuration,
+    /// Heartbeat probe period for vSwitch liveness (§5.6).
+    pub heartbeat_period: SimDuration,
+    /// Missed heartbeats before a vSwitch is declared failed.
+    pub heartbeat_miss_limit: u32,
+    /// Controller tick granularity (queue service, monitoring checks).
+    pub tick_interval: SimDuration,
+    /// Install reverse-direction rules at admission (needed for
+    /// request/response workloads).
+    pub install_reverse: bool,
+    /// TableFull-error rate (per switch, errors/s) that also activates the
+    /// overlay — the §3.3 TCAM-exhaustion trigger.
+    pub tcam_activation_threshold: f64,
+    /// Optional controller Packet-In processing capacity (messages/s).
+    /// `None` models the paper's assumption that "a single node
+    /// multi-threaded controller can handle millions of PacketIn/sec"
+    /// (§2) — i.e. the controller is never the bottleneck. Setting it
+    /// exposes what happens when it is.
+    pub controller_capacity: Option<f64>,
+    /// Match per-flow rules on the full 5-tuple (microflow rules, original
+    /// Ethane/NOX style) instead of the paper's (source IP, destination
+    /// IP) pair (§3.2). Microflow granularity makes *every* flow between a
+    /// host pair reactive, which is what trace-driven workloads need.
+    pub exact_match_rules: bool,
+}
+
+impl Default for ScotchConfig {
+    fn default() -> Self {
+        ScotchConfig {
+            activation_threshold: 160.0,
+            withdrawal_threshold: 80.0,
+            withdrawal_hold: SimDuration::from_secs(2),
+            rule_budget: None,
+            overlay_threshold: 20,
+            drop_threshold: 200,
+            ingress_differentiation: true,
+            fairness: FairnessPolicy::IngressPort,
+            lb_policy: SelectionPolicy::FlowHash,
+            stats_poll_interval: SimDuration::from_secs(1),
+            elephant_pps: 300.0,
+            migration_enabled: true,
+            rule_idle_timeout: SimDuration::from_secs(10),
+            heartbeat_period: SimDuration::from_secs(1),
+            heartbeat_miss_limit: 3,
+            tick_interval: SimDuration::from_millis(10),
+            install_reverse: false,
+            tcam_activation_threshold: 10.0,
+            controller_capacity: None,
+            exact_match_rules: false,
+        }
+    }
+}
+
+impl ScotchConfig {
+    /// The effective fairness policy, reconciling the legacy boolean with
+    /// the richer enum.
+    pub fn effective_fairness(&self) -> FairnessPolicy {
+        if self.ingress_differentiation {
+            self.fairness.clone()
+        } else {
+            FairnessPolicy::None
+        }
+    }
+
+    /// Sanity-check invariants between thresholds. Called by the app at
+    /// construction; panics on nonsensical configs (these are programmer
+    /// errors, not runtime conditions).
+    pub fn validate(&self) {
+        assert!(
+            self.withdrawal_threshold < self.activation_threshold,
+            "withdrawal threshold must sit below activation (hysteresis)"
+        );
+        assert!(
+            self.overlay_threshold < self.drop_threshold,
+            "overlay threshold must sit below the dropping threshold"
+        );
+        assert!(self.tick_interval > SimDuration::ZERO);
+        assert!(self.stats_poll_interval > SimDuration::ZERO);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        ScotchConfig::default().validate();
+    }
+
+    #[test]
+    fn defaults_match_paper_calibration() {
+        let c = ScotchConfig::default();
+        assert!(
+            c.activation_threshold < 200.0,
+            "must trip before OFA saturates"
+        );
+        assert!(c.withdrawal_threshold < c.activation_threshold);
+        assert!(c.migration_enabled);
+        assert!(c.ingress_differentiation);
+        assert_eq!(c.rule_idle_timeout, SimDuration::from_secs(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "hysteresis")]
+    fn inverted_thresholds_panic() {
+        let c = ScotchConfig {
+            withdrawal_threshold: 500.0,
+            ..Default::default()
+        };
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "dropping")]
+    fn inverted_queue_thresholds_panic() {
+        let c = ScotchConfig {
+            overlay_threshold: 300,
+            drop_threshold: 200,
+            ..Default::default()
+        };
+        c.validate();
+    }
+}

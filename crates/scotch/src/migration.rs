@@ -1,0 +1,242 @@
+//! Large-flow identification (§5.3).
+//!
+//! "The controller sends the flow-stats query messages to the vSwitches,
+//! and collects the flow stats including packet counts. The large flow
+//! identifier selects the flows with high packet counts, and puts the large
+//! flow migration requests into the large flow migration queue."
+//!
+//! Detection is rate-based: a flow whose packet count grew by more than
+//! `elephant_pps × poll_interval` since the previous poll is an elephant.
+
+use scotch_net::{FlowKey, NodeId};
+use scotch_openflow::messages::FlowStat;
+use scotch_sim::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// Detects elephants from successive FlowStats snapshots.
+#[derive(Debug, Clone)]
+pub struct ElephantDetector {
+    /// Packets/second above which a flow is an elephant.
+    pub threshold_pps: f64,
+    /// Last seen cumulative packet count per (vSwitch, cookie).
+    last_counts: HashMap<(NodeId, u64), (SimTime, u64)>,
+    /// Flows already flagged (do not flag twice).
+    flagged: HashMap<FlowKey, SimTime>,
+}
+
+impl ElephantDetector {
+    /// A detector with the given rate threshold.
+    pub fn new(threshold_pps: f64) -> Self {
+        assert!(threshold_pps > 0.0);
+        ElephantDetector {
+            threshold_pps,
+            last_counts: HashMap::new(),
+            flagged: HashMap::new(),
+        }
+    }
+
+    /// Ingest a FlowStatsReply from vSwitch `from`; returns
+    /// `(newly detected elephants, keys with recent activity)`. `key_of`
+    /// recovers the flow key from a stat record's matcher (installed
+    /// vSwitch rules match on src/dst, so the key is embedded in the
+    /// match). The activity list feeds withdrawal's liveness filter
+    /// (§5.5).
+    pub fn ingest(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        stats: &[FlowStat],
+        key_of: impl Fn(&FlowStat) -> Option<FlowKey>,
+    ) -> (Vec<FlowKey>, Vec<FlowKey>) {
+        let mut elephants = Vec::new();
+        let mut active = Vec::new();
+        for st in stats {
+            let Some(key) = key_of(st) else { continue };
+            let slot = (from, st.cookie);
+            let (prev_t, prev_n) = self
+                .last_counts
+                .insert(slot, (now, st.packet_count))
+                .unwrap_or((now, 0));
+            let dt = now.duration_since(prev_t).as_secs_f64();
+            if st.packet_count > prev_n || (dt <= 0.0 && st.packet_count > 0) {
+                active.push(key);
+            }
+            if dt <= 0.0 {
+                // First sighting within this poll round: judge by total
+                // count over the entry's lifetime — but only once the
+                // entry has lived long enough for a meaningful rate (a
+                // just-installed rule with one packet is not a 1000 pps
+                // elephant).
+                let life = st.duration.as_secs_f64();
+                if life >= 0.5
+                    && st.packet_count as f64 / life >= self.threshold_pps
+                    && !self.flagged.contains_key(&key)
+                {
+                    self.flagged.insert(key, now);
+                    elephants.push(key);
+                }
+                continue;
+            }
+            let pps = st.packet_count.saturating_sub(prev_n) as f64 / dt;
+            if pps >= self.threshold_pps && !self.flagged.contains_key(&key) {
+                self.flagged.insert(key, now);
+                elephants.push(key);
+            }
+        }
+        (elephants, active)
+    }
+
+    /// Forget flows flagged more than `ttl` ago (their rules have expired;
+    /// a returning flow may be flagged again).
+    pub fn expire(&mut self, now: SimTime, ttl: SimDuration) {
+        self.flagged.retain(|_, t| now.duration_since(*t) < ttl);
+    }
+
+    /// Number of flows currently flagged.
+    pub fn flagged_count(&self) -> usize {
+        self.flagged.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scotch_net::IpAddr;
+    use scotch_openflow::{Match, TableId};
+
+    fn key(sport: u16) -> FlowKey {
+        FlowKey::tcp(IpAddr::new(1, 1, 1, 1), sport, IpAddr::new(2, 2, 2, 2), 80)
+    }
+
+    fn stat(cookie: u64, packets: u64, secs: u64) -> FlowStat {
+        FlowStat {
+            table: TableId(0),
+            matcher: Match::ANY,
+            cookie,
+            packet_count: packets,
+            byte_count: packets * 1000,
+            duration: SimDuration::from_secs(secs),
+        }
+    }
+
+    fn key_of_cookie(st: &FlowStat) -> Option<FlowKey> {
+        Some(key(st.cookie as u16))
+    }
+
+    #[test]
+    fn steady_elephant_is_detected_on_second_poll() {
+        let mut d = ElephantDetector::new(300.0);
+        // Poll 1: entry just installed, 100 pkts over 1 s of life — mouse.
+        let (e1, _) = d.ingest(
+            SimTime::from_secs(1),
+            NodeId(5),
+            &[stat(1, 100, 1)],
+            key_of_cookie,
+        );
+        assert!(e1.is_empty());
+        // Poll 2: +500 pkts in 1 s -> 500 pps elephant.
+        let (e2, _) = d.ingest(
+            SimTime::from_secs(2),
+            NodeId(5),
+            &[stat(1, 600, 2)],
+            key_of_cookie,
+        );
+        assert_eq!(e2, vec![key(1)]);
+        // Poll 3: still fast, but already flagged.
+        let (e3, _) = d.ingest(
+            SimTime::from_secs(3),
+            NodeId(5),
+            &[stat(1, 1200, 3)],
+            key_of_cookie,
+        );
+        assert!(e3.is_empty());
+        assert_eq!(d.flagged_count(), 1);
+    }
+
+    #[test]
+    fn first_sighting_with_high_lifetime_rate_flags_immediately() {
+        let mut d = ElephantDetector::new(300.0);
+        // 2000 pkts over a 2 s lifetime = 1000 pps on first sighting.
+        let (e, _) = d.ingest(
+            SimTime::from_secs(5),
+            NodeId(5),
+            &[stat(2, 2000, 2)],
+            key_of_cookie,
+        );
+        assert_eq!(e, vec![key(2)]);
+    }
+
+    #[test]
+    fn mice_are_never_flagged() {
+        let mut d = ElephantDetector::new(300.0);
+        for poll in 1..10u64 {
+            let (e, _) = d.ingest(
+                SimTime::from_secs(poll),
+                NodeId(5),
+                &[stat(3, poll * 10, poll)], // 10 pps
+                key_of_cookie,
+            );
+            assert!(e.is_empty(), "poll {poll} flagged a mouse");
+        }
+    }
+
+    #[test]
+    fn counts_are_tracked_per_vswitch() {
+        let mut d = ElephantDetector::new(300.0);
+        d.ingest(
+            SimTime::from_secs(1),
+            NodeId(5),
+            &[stat(1, 50, 1)],
+            key_of_cookie,
+        );
+        // Same cookie on a different vSwitch: its own baseline (50 pkts
+        // lifetime 1s = mouse), not a 0-delta continuation.
+        let (e, _) = d.ingest(
+            SimTime::from_secs(1),
+            NodeId(6),
+            &[stat(1, 50, 1)],
+            key_of_cookie,
+        );
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn expiry_allows_reflagging() {
+        let mut d = ElephantDetector::new(300.0);
+        d.ingest(
+            SimTime::from_secs(1),
+            NodeId(5),
+            &[stat(1, 0, 1)],
+            key_of_cookie,
+        );
+        let (e, _) = d.ingest(
+            SimTime::from_secs(2),
+            NodeId(5),
+            &[stat(1, 1000, 2)],
+            key_of_cookie,
+        );
+        assert_eq!(e.len(), 1);
+        d.expire(SimTime::from_secs(100), SimDuration::from_secs(30));
+        assert_eq!(d.flagged_count(), 0);
+        let (e2, _) = d.ingest(
+            SimTime::from_secs(101),
+            NodeId(5),
+            &[stat(1, 2000, 101)],
+            key_of_cookie,
+        );
+        // Delta 1000 pkts over 99 s ≈ 10 pps: not an elephant now.
+        assert!(e2.is_empty());
+    }
+
+    #[test]
+    fn unresolvable_keys_are_skipped() {
+        let mut d = ElephantDetector::new(1.0);
+        let (e, _) = d.ingest(
+            SimTime::from_secs(1),
+            NodeId(5),
+            &[stat(1, 10_000, 1)],
+            |_| None,
+        );
+        assert!(e.is_empty());
+    }
+}

@@ -1,0 +1,482 @@
+//! The controller's per-switch rule scheduler (§5.2–5.3, Fig. 7).
+//!
+//! Three priority classes, served within the switch's rule budget `R`:
+//!
+//! 1. **Admitted-flow queue** — FlowMods already planned (path segments of
+//!    admitted or migrated flows). Highest priority: "the OpenFlow
+//!    controller gives the highest priority to the admitted flow queue".
+//! 2. **Large-flow migration queue** — elephants awaiting migration.
+//! 3. **Ingress-port differentiation queues** — one FIFO per ingress port,
+//!    served round-robin: "the controller serves the different queues in a
+//!    round-robin fashion so as to share the available service rate evenly
+//!    among ingress ports". Lowest priority, "such a priority order causes
+//!    small flows to be forwarded on physical paths only after all large
+//!    flows are accommodated".
+//!
+//! Queue-length thresholds (checked on enqueue): beyond the *overlay
+//! threshold* flows are shed to the overlay; beyond the *dropping
+//! threshold* they are dropped.
+
+use crate::config::FairnessPolicy;
+use scotch_net::{FlowKey, NodeId, Packet, PortId};
+use scotch_sim::SimTime;
+use std::collections::VecDeque;
+
+/// The fair-share queue a pending flow belongs to under a policy (§5.2's
+/// flow grouping).
+pub fn group_key(policy: &FairnessPolicy, flow: &PendingFlow) -> u64 {
+    match policy {
+        FairnessPolicy::None => 0,
+        FairnessPolicy::IngressPort => flow.origin_port.0 as u64,
+        FairnessPolicy::SourcePrefix(bits) => {
+            let bits = (*bits).min(32) as u32;
+            if bits == 0 {
+                0
+            } else {
+                (flow.key.src.0 >> (32 - bits)) as u64
+            }
+        }
+        FairnessPolicy::Customers(blocks) => {
+            for (i, (net, bits)) in blocks.iter().enumerate() {
+                let bits = (*bits).min(32) as u32;
+                let shift = 32 - bits;
+                if bits > 0 && (flow.key.src.0 >> shift) == (net.0 >> shift) {
+                    return i as u64 + 1;
+                }
+            }
+            0 // the default queue for unknown sources
+        }
+    }
+}
+
+/// A new flow waiting for admission to the physical network.
+#[derive(Debug, Clone)]
+pub struct PendingFlow {
+    /// The 5-tuple.
+    pub key: FlowKey,
+    /// The buffered first packet (full packet per Scotch's vSwitch
+    /// configuration).
+    pub packet: Packet,
+    /// Node whose Packet-In carried the flow (physical switch or mesh
+    /// vSwitch).
+    pub punted_by: NodeId,
+    /// The flow's first-hop physical switch.
+    pub origin: NodeId,
+    /// Ingress port at the origin switch.
+    pub origin_port: PortId,
+    /// When the Packet-In reached the controller.
+    pub enqueued_at: SimTime,
+}
+
+/// A planned migration awaiting budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MigrationJob {
+    /// The elephant's key.
+    pub key: FlowKey,
+}
+
+/// Where an enqueued flow ended up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnqueueOutcome {
+    /// Queued for physical admission.
+    Queued,
+    /// Beyond the overlay threshold: route over the overlay now.
+    RouteOnOverlay,
+    /// Beyond the dropping threshold: discard.
+    Dropped,
+}
+
+/// What the scheduler hands back when granted a token.
+#[derive(Debug, Clone)]
+pub enum GrantedWork {
+    /// Send this pre-planned FlowMod (admitted queue).
+    Admitted(scotch_controller::Command),
+    /// Plan and launch this migration.
+    Migrate(MigrationJob),
+    /// Plan physical admission for this flow.
+    Admit(PendingFlow),
+}
+
+/// Scheduler counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedulerStats {
+    /// Flows queued for physical admission.
+    pub queued: u64,
+    /// Flows shed to the overlay at enqueue.
+    pub shed_to_overlay: u64,
+    /// Flows dropped beyond the dropping threshold.
+    pub dropped: u64,
+    /// Tokens spent.
+    pub served: u64,
+}
+
+/// The per-switch scheduler.
+#[derive(Debug, Clone)]
+pub struct RuleScheduler {
+    rate: f64,
+    tokens: f64,
+    last_refill: SimTime,
+    admitted: VecDeque<scotch_controller::Command>,
+    migration: VecDeque<MigrationJob>,
+    /// (port, queue) pairs in first-seen order; round-robin cursor walks
+    /// this list.
+    ingress: Vec<(u64, VecDeque<PendingFlow>)>,
+    rr_cursor: usize,
+    overlay_threshold: usize,
+    drop_threshold: usize,
+    /// Flow-grouping policy (§5.2).
+    policy: FairnessPolicy,
+    stats: SchedulerStats,
+}
+
+impl RuleScheduler {
+    /// A scheduler draining `rate` rules/s with the given thresholds.
+    pub fn new(
+        rate: f64,
+        overlay_threshold: usize,
+        drop_threshold: usize,
+        policy: FairnessPolicy,
+    ) -> Self {
+        assert!(rate > 0.0);
+        assert!(overlay_threshold < drop_threshold);
+        RuleScheduler {
+            rate,
+            tokens: 0.0,
+            last_refill: SimTime::ZERO,
+            admitted: VecDeque::new(),
+            migration: VecDeque::new(),
+            ingress: Vec::new(),
+            rr_cursor: 0,
+            overlay_threshold,
+            drop_threshold,
+            policy,
+            stats: SchedulerStats::default(),
+        }
+    }
+
+    /// The configured budget `R`.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> SchedulerStats {
+        self.stats
+    }
+
+    /// Enqueue a pre-planned FlowMod for this switch (admitted class).
+    pub fn push_admitted(&mut self, cmd: scotch_controller::Command) {
+        self.admitted.push_back(cmd);
+    }
+
+    /// Enqueue a migration job.
+    pub fn push_migration(&mut self, job: MigrationJob) {
+        self.migration.push_back(job);
+    }
+
+    fn queue_for(&mut self, key: u64) -> &mut VecDeque<PendingFlow> {
+        if let Some(idx) = self.ingress.iter().position(|(p, _)| *p == key) {
+            &mut self.ingress[idx].1
+        } else {
+            self.ingress.push((key, VecDeque::new()));
+            &mut self.ingress.last_mut().unwrap().1
+        }
+    }
+
+    /// Offer a new flow into its ingress queue, applying the thresholds.
+    pub fn enqueue_flow(&mut self, flow: PendingFlow) -> (EnqueueOutcome, Option<PendingFlow>) {
+        let overlay_threshold = self.overlay_threshold;
+        let drop_threshold = self.drop_threshold;
+        let key = group_key(&self.policy, &flow);
+        let q = self.queue_for(key);
+        if q.len() >= drop_threshold {
+            self.stats.dropped += 1;
+            return (EnqueueOutcome::Dropped, None);
+        }
+        if q.len() >= overlay_threshold {
+            self.stats.shed_to_overlay += 1;
+            return (EnqueueOutcome::RouteOnOverlay, Some(flow));
+        }
+        q.push_back(flow);
+        self.stats.queued += 1;
+        (EnqueueOutcome::Queued, None)
+    }
+
+    /// Total flows waiting in ingress queues.
+    pub fn ingress_backlog(&self) -> usize {
+        self.ingress.iter().map(|(_, q)| q.len()).sum()
+    }
+
+    /// Backlog of one ingress port's queue (under the ingress-port
+    /// policy; other policies key differently).
+    pub fn port_backlog(&self, port: PortId) -> usize {
+        self.ingress
+            .iter()
+            .find(|(p, _)| *p == port.0 as u64)
+            .map(|(_, q)| q.len())
+            .unwrap_or(0)
+    }
+
+    fn pop_ingress_rr(&mut self) -> Option<PendingFlow> {
+        if self.ingress.is_empty() {
+            return None;
+        }
+        let n = self.ingress.len();
+        for _ in 0..n {
+            let idx = self.rr_cursor % n;
+            self.rr_cursor = (self.rr_cursor + 1) % n.max(1);
+            if let Some(flow) = self.ingress[idx].1.pop_front() {
+                return Some(flow);
+            }
+        }
+        None
+    }
+
+    /// Refill tokens and drain up to the available budget, in priority
+    /// order. Each returned item costs one token.
+    pub fn service(&mut self, now: SimTime) -> Vec<GrantedWork> {
+        let dt = now.duration_since(self.last_refill).as_secs_f64();
+        self.last_refill = now;
+        // Cap the bucket at one second of budget — idle periods must not
+        // bank unbounded bursts (that would blow past the lossless rate).
+        self.tokens = (self.tokens + dt * self.rate).min(self.rate);
+
+        let mut work = Vec::new();
+        while self.tokens >= 1.0 {
+            let item = if let Some(cmd) = self.admitted.pop_front() {
+                GrantedWork::Admitted(cmd)
+            } else if let Some(job) = self.migration.pop_front() {
+                GrantedWork::Migrate(job)
+            } else if let Some(flow) = self.pop_ingress_rr() {
+                GrantedWork::Admit(flow)
+            } else {
+                break;
+            };
+            self.tokens -= 1.0;
+            self.stats.served += 1;
+            work.push(item);
+        }
+        work
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scotch_controller::Command;
+    use scotch_net::{FlowId, FlowKey, IpAddr};
+    use scotch_openflow::ControllerToSwitch;
+
+    fn flow(port: u16, sport: u16) -> PendingFlow {
+        let key = FlowKey::tcp(IpAddr::new(1, 1, 1, 1), sport, IpAddr::new(2, 2, 2, 2), 80);
+        PendingFlow {
+            key,
+            packet: Packet::flow_start(key, FlowId(sport as u64), SimTime::ZERO),
+            punted_by: NodeId(9),
+            origin: NodeId(1),
+            origin_port: PortId(port),
+            enqueued_at: SimTime::ZERO,
+        }
+    }
+
+    fn cmd() -> Command {
+        Command::new(NodeId(1), ControllerToSwitch::FlowStatsRequest)
+    }
+
+    #[test]
+    fn thresholds_shed_then_drop() {
+        let mut s = RuleScheduler::new(100.0, 2, 4, FairnessPolicy::IngressPort);
+        assert_eq!(s.enqueue_flow(flow(0, 1)).0, EnqueueOutcome::Queued);
+        assert_eq!(s.enqueue_flow(flow(0, 2)).0, EnqueueOutcome::Queued);
+        // Queue is at the overlay threshold: shed.
+        assert_eq!(s.enqueue_flow(flow(0, 3)).0, EnqueueOutcome::RouteOnOverlay);
+        assert_eq!(s.port_backlog(PortId(0)), 2);
+        let st = s.stats();
+        assert_eq!((st.queued, st.shed_to_overlay, st.dropped), (2, 1, 0));
+    }
+
+    #[test]
+    fn dropping_threshold_drops() {
+        // With differentiation off and service never called, fill one
+        // shared queue to the dropping threshold.
+        let mut s = RuleScheduler::new(100.0, 1, 2, FairnessPolicy::None);
+        assert_eq!(s.enqueue_flow(flow(0, 1)).0, EnqueueOutcome::Queued);
+        assert_eq!(s.enqueue_flow(flow(1, 2)).0, EnqueueOutcome::RouteOnOverlay);
+        // Force the queue longer to hit the drop threshold.
+        s.queue_for(0).push_back(flow(0, 3));
+        assert_eq!(s.enqueue_flow(flow(2, 4)).0, EnqueueOutcome::Dropped);
+        assert_eq!(s.stats().dropped, 1);
+    }
+
+    #[test]
+    fn service_respects_rate() {
+        let mut s = RuleScheduler::new(100.0, 50, 100, FairnessPolicy::IngressPort);
+        for i in 0..200 {
+            s.enqueue_flow(flow(0, i));
+        }
+        // 100 ms at 100/s -> 10 tokens.
+        let work = s.service(SimTime::from_millis(100));
+        assert_eq!(work.len(), 10);
+        // Immediately again: no tokens accrued.
+        assert_eq!(s.service(SimTime::from_millis(100)).len(), 0);
+    }
+
+    #[test]
+    fn token_bank_is_capped() {
+        let mut s = RuleScheduler::new(100.0, 500, 1000, FairnessPolicy::IngressPort);
+        for i in 0..500 {
+            s.enqueue_flow(flow(0, i));
+        }
+        // One hour idle must not bank 360k tokens: cap is 1 s of budget.
+        let work = s.service(SimTime::from_secs(3600));
+        assert_eq!(work.len(), 100);
+    }
+
+    #[test]
+    fn priority_order_admitted_migration_ingress() {
+        let mut s = RuleScheduler::new(1000.0, 50, 100, FairnessPolicy::IngressPort);
+        s.enqueue_flow(flow(0, 1));
+        s.push_migration(MigrationJob {
+            key: flow(0, 9).key,
+        });
+        s.push_admitted(cmd());
+        let work = s.service(SimTime::from_secs(1));
+        assert!(matches!(work[0], GrantedWork::Admitted(_)));
+        assert!(matches!(work[1], GrantedWork::Migrate(_)));
+        assert!(matches!(work[2], GrantedWork::Admit(_)));
+    }
+
+    #[test]
+    fn round_robin_shares_across_ports() {
+        let mut s = RuleScheduler::new(1000.0, 50, 100, FairnessPolicy::IngressPort);
+        // Port 1 floods, port 2 trickles.
+        for i in 0..40 {
+            s.enqueue_flow(flow(1, i));
+        }
+        for i in 100..104 {
+            s.enqueue_flow(flow(2, i));
+        }
+        // Grant 8 tokens: with RR, port 2's four flows must all be served.
+        s.tokens = 0.0;
+        let work = s.service(SimTime::from_millis(8));
+        let port2_served = work
+            .iter()
+            .filter(|w| matches!(w, GrantedWork::Admit(f) if f.origin_port == PortId(2)))
+            .count();
+        assert_eq!(work.len(), 8);
+        assert_eq!(port2_served, 4, "RR must not starve the quiet port");
+    }
+
+    #[test]
+    fn undifferentiated_mode_is_fifo_across_ports() {
+        let mut s = RuleScheduler::new(1000.0, 50, 100, FairnessPolicy::None);
+        for i in 0..40 {
+            s.enqueue_flow(flow(1, i));
+        }
+        for i in 100..104 {
+            s.enqueue_flow(flow(2, i));
+        }
+        let work = s.service(SimTime::from_millis(8));
+        let port2_served = work
+            .iter()
+            .filter(|w| matches!(w, GrantedWork::Admit(f) if f.origin_port == PortId(2)))
+            .count();
+        // FIFO: the flood (enqueued first) hogs all 8 grants.
+        assert_eq!(port2_served, 0, "shared queue starves the quiet port");
+    }
+
+    #[test]
+    fn rr_cursor_survives_empty_queues() {
+        let mut s = RuleScheduler::new(1000.0, 50, 100, FairnessPolicy::IngressPort);
+        s.enqueue_flow(flow(3, 1));
+        let w1 = s.service(SimTime::from_secs(1));
+        assert_eq!(w1.len(), 1);
+        // Port 3's queue now empty; new arrivals on port 5 still served.
+        s.enqueue_flow(flow(5, 2));
+        let w2 = s.service(SimTime::from_secs(2));
+        assert_eq!(w2.len(), 1);
+    }
+}
+
+#[cfg(test)]
+mod fairness_tests {
+    use super::*;
+    use scotch_net::{FlowId, IpAddr};
+
+    fn flow_from(src: IpAddr, port: u16, sport: u16) -> PendingFlow {
+        let key = FlowKey::tcp(src, sport, IpAddr::new(9, 9, 9, 9), 80);
+        PendingFlow {
+            key,
+            packet: Packet::flow_start(key, FlowId(sport as u64), SimTime::ZERO),
+            punted_by: NodeId(5),
+            origin: NodeId(1),
+            origin_port: PortId(port),
+            enqueued_at: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn source_prefix_groups_by_customer_block() {
+        // Two "customers": 10.1.0.0/16 and 10.2.0.0/16.
+        let cust_a = IpAddr::new(10, 1, 0, 7);
+        let cust_b = IpAddr::new(10, 2, 0, 7);
+        let policy = FairnessPolicy::SourcePrefix(16);
+        let ka = group_key(&policy, &flow_from(cust_a, 0, 1));
+        let kb = group_key(&policy, &flow_from(cust_b, 0, 2));
+        assert_ne!(ka, kb);
+        // Same block, different host and even different ingress port:
+        // same queue.
+        let ka2 = group_key(&policy, &flow_from(IpAddr::new(10, 1, 4, 4), 3, 5));
+        assert_eq!(ka, ka2);
+    }
+
+    #[test]
+    fn customer_fairness_protects_the_quiet_customer() {
+        // Customer A floods (both ports!), customer B trickles; per-prefix
+        // queues give B its fair share even though the flood shares B's
+        // ingress port.
+        let mut s = RuleScheduler::new(1000.0, 50, 100, FairnessPolicy::SourcePrefix(16));
+        for i in 0..40 {
+            // Flood from 10.1/16, alternating ingress ports.
+            s.enqueue_flow(flow_from(IpAddr::new(10, 1, 0, i as u8), i % 2, i));
+        }
+        for i in 100..104 {
+            s.enqueue_flow(flow_from(IpAddr::new(10, 2, 0, 1), 1, i));
+        }
+        s.tokens = 0.0;
+        let work = s.service(SimTime::from_millis(8));
+        let b_served = work
+            .iter()
+            .filter(|w| matches!(w, GrantedWork::Admit(f) if f.key.src.0 >> 16 == (10 << 8) | 2))
+            .count();
+        assert_eq!(work.len(), 8);
+        assert_eq!(b_served, 4, "customer B's flows must all be served");
+        // Under ingress-port fairness the flood shares B's port queue and
+        // starves it.
+        let mut s2 = RuleScheduler::new(1000.0, 50, 100, FairnessPolicy::IngressPort);
+        for i in 0..40 {
+            s2.enqueue_flow(flow_from(IpAddr::new(10, 1, 0, i as u8), i % 2, i));
+        }
+        for i in 100..104 {
+            s2.enqueue_flow(flow_from(IpAddr::new(10, 2, 0, 1), 1, i));
+        }
+        s2.tokens = 0.0;
+        let work2 = s2.service(SimTime::from_millis(8));
+        let b_served2 = work2
+            .iter()
+            .filter(|w| matches!(w, GrantedWork::Admit(f) if f.key.src.0 >> 16 == (10 << 8) | 2))
+            .count();
+        assert!(
+            b_served2 < b_served,
+            "port fairness cannot isolate a same-port flood: {b_served2} vs {b_served}"
+        );
+    }
+
+    #[test]
+    fn prefix_zero_is_one_shared_queue() {
+        let policy = FairnessPolicy::SourcePrefix(0);
+        let ka = group_key(&policy, &flow_from(IpAddr::new(10, 1, 0, 1), 0, 1));
+        let kb = group_key(&policy, &flow_from(IpAddr::new(200, 9, 9, 9), 5, 2));
+        assert_eq!(ka, kb);
+    }
+}

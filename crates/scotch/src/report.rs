@@ -1,0 +1,258 @@
+//! Simulation results.
+
+use crate::app::AppStats;
+use scotch_net::NodeId;
+use scotch_sim::metrics::Histogram;
+use scotch_sim::{SimDuration, SimTime};
+use scotch_switch::ofa::OfaStats;
+use scotch_switch::physical::SwitchStats;
+use scotch_switch::vswitch::VSwitchStats;
+
+/// Outcome of one flow.
+#[derive(Debug, Clone)]
+pub struct FlowOutcome {
+    /// The flow's accounting id.
+    pub id: scotch_net::FlowId,
+    /// The 5-tuple.
+    pub key: scotch_net::FlowKey,
+    /// Attack traffic?
+    pub is_attack: bool,
+    /// Packets the source emitted.
+    pub emitted: u32,
+    /// Packets the flow was supposed to carry.
+    pub intended: u32,
+    /// Packets that reached the destination host.
+    pub delivered: u32,
+    /// Bytes that reached the destination host.
+    pub delivered_bytes: u64,
+    /// First packet emission time.
+    pub started_at: SimTime,
+    /// First delivery, if any.
+    pub first_delivered: Option<SimTime>,
+    /// Last delivery, if any.
+    pub last_delivered: Option<SimTime>,
+    /// Which network served the flow at first delivery (None when the
+    /// flow was relayed by the controller before any rule existed).
+    pub served_by: Option<scotch_controller::flowdb::FlowPath>,
+}
+
+impl FlowOutcome {
+    /// The paper's Fig. 3 success criterion: the flow "passed through the
+    /// switch and reached the server".
+    pub fn succeeded(&self) -> bool {
+        self.delivered > 0
+    }
+
+    /// All packets arrived.
+    pub fn completed(&self) -> bool {
+        self.delivered >= self.intended
+    }
+
+    /// Time from first emission to last delivery (flow completion time),
+    /// if the flow completed.
+    pub fn completion_time(&self) -> Option<SimDuration> {
+        if self.completed() {
+            self.last_delivered
+                .map(|t| t.duration_since(self.started_at))
+        } else {
+            None
+        }
+    }
+
+    /// Setup latency: first emission to first delivery.
+    pub fn setup_latency(&self) -> Option<SimDuration> {
+        self.first_delivered
+            .map(|t| t.duration_since(self.started_at))
+    }
+}
+
+/// Per-physical-switch counters.
+#[derive(Debug, Clone)]
+pub struct SwitchReport {
+    /// The switch's node.
+    pub node: NodeId,
+    /// Its name in the topology.
+    pub name: String,
+    /// OFA counters.
+    pub ofa: OfaStats,
+    /// Data-plane counters.
+    pub dataplane: SwitchStats,
+}
+
+/// Per-vSwitch counters.
+#[derive(Debug, Clone)]
+pub struct VSwitchReport {
+    /// The vSwitch's node.
+    pub node: NodeId,
+    /// Its name in the topology.
+    pub name: String,
+    /// Agent counters.
+    pub ofa: OfaStats,
+    /// Data-plane counters.
+    pub dataplane: VSwitchStats,
+}
+
+/// Aggregate drop counters across the fabric.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DropCounts {
+    /// Table-miss packets lost to OFA overload.
+    pub ofa_overload: u64,
+    /// Packets lost to the Fig. 10 interaction collapse or vSwitch pps
+    /// bounds.
+    pub dataplane: u64,
+    /// Policy drops.
+    pub policy: u64,
+    /// No-route drops (dead group buckets etc.).
+    pub no_route: u64,
+    /// Link queue drops.
+    pub link_queue: u64,
+    /// Packets lost to injected link faults.
+    pub link_faults: u64,
+}
+
+/// Everything a simulation run produced.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Simulated duration.
+    pub duration: SimDuration,
+    /// Per-flow outcomes, in generation order.
+    pub flows: Vec<FlowOutcome>,
+    /// Controller-application counters.
+    pub app: AppStats,
+    /// Per-physical-switch counters.
+    pub switches: Vec<SwitchReport>,
+    /// Per-vSwitch counters.
+    pub vswitches: Vec<VSwitchReport>,
+    /// Drop counters.
+    pub drops: DropCounts,
+    /// End-to-end delivery latency of legitimate packets (ns).
+    pub latency: Histogram,
+    /// Packets rejected by stateful middleboxes for missing state.
+    pub middlebox_rejections: u64,
+    /// Packets that arrived at a host that is not their destination.
+    pub misrouted: u64,
+    /// Messages dropped at the controller's processing capacity gate
+    /// (always 0 with the default unbounded controller).
+    pub controller_dropped: u64,
+    /// Events processed (engine diagnostic).
+    pub events_processed: u64,
+    /// Delivery `(time, end-to-end latency)` samples of explicitly
+    /// tracked flows (see [`crate::Simulation::track_flow`]).
+    pub tracked: std::collections::HashMap<scotch_net::FlowId, Vec<(SimTime, SimDuration)>>,
+    /// libpcap captures of tapped nodes (see
+    /// [`crate::Simulation::capture_at`]).
+    pub captures: std::collections::HashMap<NodeId, crate::pcap::PcapCapture>,
+}
+
+impl Report {
+    fn flows_where(&self, attack: bool) -> impl Iterator<Item = &FlowOutcome> {
+        self.flows.iter().filter(move |f| f.is_attack == attack)
+    }
+
+    /// Legitimate flows generated.
+    pub fn client_flows(&self) -> usize {
+        self.flows_where(false).count()
+    }
+
+    /// Attack flows generated.
+    pub fn attack_flows(&self) -> usize {
+        self.flows_where(true).count()
+    }
+
+    /// Fig. 3's metric: fraction of legitimate flows that failed to reach
+    /// their destination.
+    pub fn client_failure_fraction(&self) -> f64 {
+        let total = self.client_flows();
+        if total == 0 {
+            return 0.0;
+        }
+        let failed = self.flows_where(false).filter(|f| !f.succeeded()).count();
+        failed as f64 / total as f64
+    }
+
+    /// [`Report::client_failure_fraction`] restricted to flows that
+    /// started in `[from, to)` — used to separate steady-state behaviour
+    /// from the activation transient and the end-of-run cutoff.
+    pub fn client_failure_fraction_between(&self, from: SimTime, to: SimTime) -> f64 {
+        let window: Vec<_> = self
+            .flows_where(false)
+            .filter(|f| f.started_at >= from && f.started_at < to)
+            .collect();
+        if window.is_empty() {
+            return 0.0;
+        }
+        let failed = window.iter().filter(|f| !f.succeeded()).count();
+        failed as f64 / window.len() as f64
+    }
+
+    /// Fraction of attack flows that reached the victim.
+    pub fn attack_success_fraction(&self) -> f64 {
+        let total = self.attack_flows();
+        if total == 0 {
+            return 0.0;
+        }
+        let ok = self.flows_where(true).filter(|f| f.succeeded()).count();
+        ok as f64 / total as f64
+    }
+
+    /// Mean flow completion time of completed legitimate flows, seconds.
+    pub fn mean_client_fct(&self) -> Option<f64> {
+        let fcts: Vec<f64> = self
+            .flows_where(false)
+            .filter_map(|f| f.completion_time())
+            .map(|d| d.as_secs_f64())
+            .collect();
+        if fcts.is_empty() {
+            None
+        } else {
+            Some(fcts.iter().sum::<f64>() / fcts.len() as f64)
+        }
+    }
+
+    /// Mean setup latency of successful legitimate flows, seconds.
+    pub fn mean_client_setup_latency(&self) -> Option<f64> {
+        let ls: Vec<f64> = self
+            .flows_where(false)
+            .filter_map(|f| f.setup_latency())
+            .map(|d| d.as_secs_f64())
+            .collect();
+        if ls.is_empty() {
+            None
+        } else {
+            Some(ls.iter().sum::<f64>() / ls.len() as f64)
+        }
+    }
+
+    /// Aggregate Packet-In messages emitted by all mesh/host vSwitch
+    /// agents (the E13 capacity metric).
+    pub fn vswitch_packet_ins(&self) -> u64 {
+        self.vswitches.iter().map(|v| v.ofa.packet_in_sent).sum()
+    }
+
+    /// Aggregate Packet-In messages emitted by physical-switch OFAs.
+    pub fn physical_packet_ins(&self) -> u64 {
+        self.switches.iter().map(|s| s.ofa.packet_in_sent).sum()
+    }
+
+    /// A one-paragraph human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} flows ({} legit / {} attack) over {}: client failure {:.1}%, \
+             physical admissions {}, overlay admissions {}, migrations {}, \
+             activations {}, withdrawals {}, drops(ofa/data/link) {}/{}/{}",
+            self.flows.len(),
+            self.client_flows(),
+            self.attack_flows(),
+            self.duration,
+            self.client_failure_fraction() * 100.0,
+            self.app.physical_admitted,
+            self.app.overlay_admitted,
+            self.app.migrations,
+            self.app.activations,
+            self.app.withdrawals,
+            self.drops.ofa_overload,
+            self.drops.dataplane,
+            self.drops.link_queue,
+        )
+    }
+}

@@ -1,0 +1,599 @@
+//! The composition root: one event loop wiring topology, devices,
+//! controller, and workloads together.
+//!
+//! Follows the smoltcp-style event-driven design: every device is a
+//! passive state machine; this module owns the [`EventQueue`] and converts
+//! device outputs into scheduled events. All randomness is seeded, all
+//! ties deterministic — a `(scenario, seed)` pair reproduces bit-identical
+//! reports.
+
+use crate::app::{ControllerMode, ScotchApp};
+use crate::report::{DropCounts, FlowOutcome, Report, SwitchReport, VSwitchReport};
+use scotch_controller::Command;
+use scotch_net::{IpAddr, Label, NodeId, NodeKind, Packet, PortId, Topology};
+use scotch_openflow::{ControllerToSwitch, SwitchToController};
+use scotch_sim::metrics::Histogram;
+use scotch_sim::{EventQueue, SimDuration, SimTime};
+use scotch_switch::middlebox::{MbVerdict, Middlebox};
+use scotch_switch::{DropReason, Output, PhysicalSwitch, VSwitch};
+use scotch_workload::{FlowArrival, FlowSource, FlowSpec};
+use std::collections::HashMap;
+
+/// Discrete events.
+enum Event {
+    /// A packet lands on `(node, port)` after link transit.
+    Arrive {
+        node: NodeId,
+        port: PortId,
+        packet: Packet,
+    },
+    /// A source host emits packet `seq` of flow `flow_idx`.
+    EmitPacket { flow_idx: usize, seq: u32 },
+    /// Pull the next arrival from workload source `source_idx`.
+    SourceNext { source_idx: usize },
+    /// A switch→controller message arrives at the controller (subject to
+    /// the optional controller-capacity gate).
+    CtrlFromSwitch {
+        from: NodeId,
+        msg: SwitchToController,
+    },
+    /// A gated message whose controller service time has elapsed.
+    CtrlProcessed {
+        from: NodeId,
+        msg: SwitchToController,
+    },
+    /// A controller→switch message arrives at a switch.
+    CtrlToSwitch { to: NodeId, msg: ControllerToSwitch },
+    /// Periodic controller work (queue service, monitoring).
+    ControllerTick,
+    /// Periodic FlowStats poll (§5.3).
+    StatsPoll,
+    /// Periodic heartbeat probes (§5.6).
+    Heartbeat,
+    /// Periodic flow-table expiry sweep.
+    ExpirySweep,
+    /// Scripted fault injection: kill a vSwitch.
+    FailVSwitch { node: NodeId },
+    /// Scripted elastic scale-out: join a vSwitch to the overlay (§5.6).
+    JoinVSwitch { node: NodeId },
+    /// Scripted recovery of a previously failed vSwitch (§5.6).
+    RecoverVSwitch { node: NodeId },
+}
+
+struct FlowRecord {
+    spec: FlowSpec,
+    src_host: NodeId,
+    started_at: SimTime,
+    emitted: u32,
+    delivered: u32,
+    delivered_bytes: u64,
+    first_delivered: Option<SimTime>,
+    last_delivered: Option<SimTime>,
+    served_by: Option<scotch_controller::flowdb::FlowPath>,
+}
+
+/// The simulation.
+pub struct Simulation {
+    /// The network graph (public for inspection in tests/benches).
+    pub topo: Topology,
+    /// The controller application.
+    pub app: ScotchApp,
+    physical: HashMap<NodeId, PhysicalSwitch>,
+    vswitches: HashMap<NodeId, VSwitch>,
+    middleboxes: HashMap<NodeId, Middlebox>,
+    host_ip: HashMap<NodeId, IpAddr>,
+    ip_host: HashMap<IpAddr, NodeId>,
+    sources: Vec<(NodeId, Box<dyn FlowSource>)>,
+    flows: Vec<FlowRecord>,
+    flow_index: HashMap<scotch_net::FlowId, usize>,
+    tracked: HashMap<scotch_net::FlowId, Vec<(SimTime, SimDuration)>>,
+    captures: HashMap<NodeId, crate::pcap::PcapCapture>,
+    events: EventQueue<Event>,
+    /// Optional controller processing gate (see
+    /// `ScotchConfig::controller_capacity`).
+    controller_gate: Option<(scotch_sim::rate::FifoServer, SimDuration)>,
+    controller_dropped: u64,
+    drops: DropCounts,
+    latency: Histogram,
+    misrouted: u64,
+    sweep_interval: SimDuration,
+}
+
+impl Simulation {
+    /// Build a simulation over a wired topology and controller app.
+    pub fn new(topo: Topology, app: ScotchApp) -> Self {
+        let controller_gate = app.config.controller_capacity.map(|cap| {
+            (
+                scotch_sim::rate::FifoServer::new(4096),
+                scotch_sim::rate::FifoServer::service_time(cap),
+            )
+        });
+        Simulation {
+            controller_gate,
+            controller_dropped: 0,
+            topo,
+            app,
+            physical: HashMap::new(),
+            vswitches: HashMap::new(),
+            middleboxes: HashMap::new(),
+            host_ip: HashMap::new(),
+            ip_host: HashMap::new(),
+            sources: Vec::new(),
+            flows: Vec::new(),
+            flow_index: HashMap::new(),
+            tracked: HashMap::new(),
+            captures: HashMap::new(),
+            events: EventQueue::new(),
+            drops: DropCounts::default(),
+            latency: Histogram::new(),
+            misrouted: 0,
+            sweep_interval: SimDuration::from_secs(1),
+        }
+    }
+
+    /// Attach a physical switch device at its node.
+    pub fn add_physical(&mut self, sw: PhysicalSwitch) {
+        self.physical.insert(sw.node, sw);
+    }
+
+    /// Attach a vSwitch device at its node.
+    pub fn add_vswitch(&mut self, vs: VSwitch) {
+        self.vswitches.insert(vs.node, vs);
+    }
+
+    /// Attach a middlebox at its node.
+    pub fn add_middlebox(&mut self, node: NodeId, mb: Middlebox) {
+        self.middleboxes.insert(node, mb);
+    }
+
+    /// Register a host's address (the emitting/receiving identity).
+    pub fn add_host(&mut self, node: NodeId, ip: IpAddr) {
+        self.host_ip.insert(node, ip);
+        self.ip_host.insert(ip, node);
+    }
+
+    /// Attach a workload source. `default_host` emits flows whose source
+    /// address is not a registered host (spoofed traffic).
+    pub fn add_source(&mut self, default_host: NodeId, source: Box<dyn FlowSource>) {
+        self.sources.push((default_host, source));
+    }
+
+    /// Record every delivery timestamp for this flow (per-flow throughput
+    /// series in the migration experiments).
+    pub fn track_flow(&mut self, id: scotch_net::FlowId) {
+        self.tracked.entry(id).or_default();
+    }
+
+    /// Tap a node: every packet arriving there is appended to a libpcap
+    /// capture available in [`Report::captures`](crate::Report) after the
+    /// run (smoltcp-style `--pcap` debugging).
+    pub fn capture_at(&mut self, node: NodeId) {
+        self.captures.entry(node).or_default();
+    }
+
+    /// Delivery `(time, end-to-end latency)` samples of a tracked flow.
+    pub fn tracked_deliveries(&self, id: scotch_net::FlowId) -> &[(SimTime, SimDuration)] {
+        self.tracked.get(&id).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Schedule a vSwitch failure (§5.6 fault injection).
+    pub fn fail_vswitch_at(&mut self, node: NodeId, at: SimTime) {
+        self.events.push(at, Event::FailVSwitch { node });
+    }
+
+    /// Schedule a vSwitch to join the overlay mesh at `at` (§5.6 elastic
+    /// scale-out). The node must already be wired into the topology and
+    /// have a device attached.
+    pub fn join_vswitch_at(&mut self, node: NodeId, at: SimTime) {
+        self.events.push(at, Event::JoinVSwitch { node });
+    }
+
+    /// Schedule recovery of a failed vSwitch at `at` (§5.6: it rejoins as
+    /// a backup, or revives in place if its bucket was never replaced).
+    pub fn recover_vswitch_at(&mut self, node: NodeId, at: SimTime) {
+        self.events.push(at, Event::RecoverVSwitch { node });
+    }
+
+    /// Send initial controller commands (e.g. policy green rules) at t=0.
+    pub fn bootstrap_commands(&mut self, commands: Vec<Command>) {
+        for cmd in commands {
+            self.events.push(
+                SimTime::ZERO,
+                Event::CtrlToSwitch {
+                    to: cmd.to,
+                    msg: cmd.msg,
+                },
+            );
+        }
+    }
+
+    fn control_latency(&self, node: NodeId) -> SimDuration {
+        if let Some(s) = self.physical.get(&node) {
+            s.control_latency()
+        } else if let Some(v) = self.vswitches.get(&node) {
+            v.control_latency()
+        } else {
+            SimDuration::from_millis(1)
+        }
+    }
+
+    fn dispatch_commands(&mut self, now: SimTime, commands: Vec<Command>) {
+        for cmd in commands {
+            let at = now + self.control_latency(cmd.to);
+            self.events.push(
+                at,
+                Event::CtrlToSwitch {
+                    to: cmd.to,
+                    msg: cmd.msg,
+                },
+            );
+        }
+    }
+
+    fn transmit(&mut self, now: SimTime, from: NodeId, out_port: PortId, packet: Packet) {
+        match self.topo.transmit(now, from, out_port, packet.size) {
+            Some((to, in_port, at)) => {
+                self.events.push(
+                    at,
+                    Event::Arrive {
+                        node: to,
+                        port: in_port,
+                        packet,
+                    },
+                );
+            }
+            None => {
+                self.drops.link_queue += 1;
+            }
+        }
+    }
+
+    fn handle_outputs(&mut self, now: SimTime, node: NodeId, outputs: Vec<Output>) {
+        for out in outputs {
+            match out {
+                Output::Forward { out_port, packet } => {
+                    self.transmit(now, node, out_port, packet);
+                }
+                Output::ToController { at, msg } => {
+                    let deliver = at.max(now) + self.control_latency(node);
+                    self.events
+                        .push(deliver, Event::CtrlFromSwitch { from: node, msg });
+                }
+                Output::Dropped { reason, .. } => match reason {
+                    DropReason::OfaOverload => self.drops.ofa_overload += 1,
+                    DropReason::DataPlaneOverload => self.drops.dataplane += 1,
+                    DropReason::Policy => self.drops.policy += 1,
+                    DropReason::NoRoute => self.drops.no_route += 1,
+                },
+            }
+        }
+    }
+
+    fn on_arrive(&mut self, now: SimTime, node: NodeId, port: PortId, packet: Packet) {
+        if let Some(cap) = self.captures.get_mut(&node) {
+            cap.record(now, &packet);
+        }
+        match self.topo.kind(node) {
+            NodeKind::Host => self.deliver(now, node, packet),
+            NodeKind::Middlebox => {
+                let Some(mb) = self.middleboxes.get_mut(&node) else {
+                    return;
+                };
+                match mb.process(packet) {
+                    MbVerdict::Pass(p) => {
+                        // Two-port device: exit on the other port.
+                        let other = self.topo.ports(node).into_iter().find(|p2| *p2 != port);
+                        if let Some(out) = other {
+                            self.transmit(now, node, out, p);
+                        }
+                    }
+                    MbVerdict::RejectNoState(_) => {
+                        // Counted via the middlebox's own counter; also in
+                        // policy drops.
+                        self.drops.policy += 1;
+                    }
+                }
+            }
+            NodeKind::PhysicalSwitch | NodeKind::VSwitch => {
+                // Tunnel transit: label-switched in the data plane, no
+                // table lookup, no OFA (§4.1).
+                if let Some(Label::Tunnel(t)) = packet.top_label() {
+                    let endpoint = self.app.overlay.tunnels.endpoint(t);
+                    if endpoint != Some(node) {
+                        if let Some(next) = self.app.overlay.tunnels.next_hop(t, node) {
+                            if let Some(out) = self.topo.port_towards(node, next) {
+                                self.transmit(now, node, out, packet);
+                                return;
+                            }
+                        }
+                        // Unknown tunnel at this node: fall through to the
+                        // device (its tables may still match).
+                    }
+                }
+                if let Some(sw) = self.physical.get_mut(&node) {
+                    let outputs = sw.handle_packet(now, port, packet);
+                    self.handle_outputs(now, node, outputs);
+                } else if let Some(vs) = self.vswitches.get_mut(&node) {
+                    let terminates = matches!(packet.top_label(), Some(Label::Tunnel(t))
+                        if self.app.overlay.tunnels.endpoint(t) == Some(node));
+                    let outputs = vs.handle_packet(now, port, packet, terminates);
+                    self.handle_outputs(now, node, outputs);
+                }
+            }
+        }
+    }
+
+    fn deliver(&mut self, now: SimTime, host: NodeId, packet: Packet) {
+        let expected = self.host_ip.get(&host);
+        if expected != Some(&packet.key.dst) {
+            self.misrouted += 1;
+            return;
+        }
+        if let Some(&idx) = self.flow_index.get(&packet.flow_id) {
+            let served_by = self.app.flowdb.get(&packet.key).map(|i| i.path);
+            let rec = &mut self.flows[idx];
+            rec.delivered += 1;
+            rec.delivered_bytes += packet.size as u64;
+            if rec.first_delivered.is_none() {
+                rec.first_delivered = Some(now);
+                rec.served_by = served_by;
+            }
+            rec.last_delivered = Some(now);
+            if !rec.spec.is_attack {
+                self.latency
+                    .record(now.duration_since(packet.born_at).as_nanos() as f64);
+            }
+            if let Some(ts) = self.tracked.get_mut(&packet.flow_id) {
+                ts.push((now, now.duration_since(packet.born_at)));
+            }
+        }
+    }
+
+    fn on_source_next(&mut self, source_idx: usize) {
+        let (default_host, source) = &mut self.sources[source_idx];
+        let Some(FlowArrival { at, flow }) = source.next_arrival() else {
+            return;
+        };
+        let src_host = self
+            .ip_host
+            .get(&flow.key.src)
+            .copied()
+            .unwrap_or(*default_host);
+        let idx = self.flows.len();
+        self.flow_index.insert(flow.id, idx);
+        self.flows.push(FlowRecord {
+            spec: flow,
+            src_host,
+            started_at: at,
+            emitted: 0,
+            delivered: 0,
+            delivered_bytes: 0,
+            first_delivered: None,
+            last_delivered: None,
+            served_by: None,
+        });
+        self.events.push(
+            at,
+            Event::EmitPacket {
+                flow_idx: idx,
+                seq: 0,
+            },
+        );
+        self.events.push(at, Event::SourceNext { source_idx });
+    }
+
+    fn on_emit(&mut self, now: SimTime, flow_idx: usize, seq: u32) {
+        let (packet, src_host, more) = {
+            let rec = &mut self.flows[flow_idx];
+            let spec = &rec.spec;
+            let mut p = if seq == 0 {
+                Packet::flow_start(spec.key, spec.id, now).with_size(spec.packet_size)
+            } else {
+                Packet::data(spec.key, spec.id, now, seq, spec.packet_size)
+            };
+            p.is_attack = spec.is_attack;
+            rec.emitted += 1;
+            (p, rec.src_host, seq + 1 < spec.packets)
+        };
+        // Hosts have exactly one uplink: port 0.
+        let uplink = self
+            .topo
+            .ports(src_host)
+            .first()
+            .copied()
+            .unwrap_or(PortId(0));
+        self.transmit(now, src_host, uplink, packet);
+        if more {
+            let gap = self.flows[flow_idx].spec.packet_interval;
+            self.events.push(
+                now + gap,
+                Event::EmitPacket {
+                    flow_idx,
+                    seq: seq + 1,
+                },
+            );
+        }
+    }
+
+    /// Run until `until`, returning the report.
+    pub fn run(mut self, until: SimTime) -> Report {
+        // Seed periodic events and sources.
+        let tick = self.app.config.tick_interval;
+        let poll = self.app.config.stats_poll_interval;
+        let hb = self.app.config.heartbeat_period;
+        self.events
+            .push(SimTime::ZERO + tick, Event::ControllerTick);
+        if self.app.mode == ControllerMode::Scotch {
+            self.events.push(SimTime::ZERO + poll, Event::StatsPoll);
+            self.events.push(SimTime::ZERO + hb, Event::Heartbeat);
+        }
+        self.events
+            .push(SimTime::ZERO + self.sweep_interval, Event::ExpirySweep);
+        for i in 0..self.sources.len() {
+            self.events
+                .push(SimTime::ZERO, Event::SourceNext { source_idx: i });
+        }
+
+        let mut processed = 0u64;
+        while let Some((now, ev)) = self.events.pop() {
+            if now > until {
+                break;
+            }
+            processed += 1;
+            match ev {
+                Event::Arrive { node, port, packet } => self.on_arrive(now, node, port, packet),
+                Event::EmitPacket { flow_idx, seq } => self.on_emit(now, flow_idx, seq),
+                Event::SourceNext { source_idx } => self.on_source_next(source_idx),
+                Event::CtrlFromSwitch { from, msg } => match &mut self.controller_gate {
+                    Some((server, service)) => match server.offer(now, *service) {
+                        scotch_sim::rate::Admission::Accepted { departs_at } => {
+                            self.events
+                                .push(departs_at, Event::CtrlProcessed { from, msg });
+                        }
+                        scotch_sim::rate::Admission::Rejected => {
+                            self.controller_dropped += 1;
+                        }
+                    },
+                    None => {
+                        let cmds = {
+                            let topo = &self.topo;
+                            self.app.handle_switch_msg(now, topo, from, msg)
+                        };
+                        self.dispatch_commands(now, cmds);
+                    }
+                },
+                Event::CtrlProcessed { from, msg } => {
+                    let cmds = {
+                        let topo = &self.topo;
+                        self.app.handle_switch_msg(now, topo, from, msg)
+                    };
+                    self.dispatch_commands(now, cmds);
+                }
+                Event::CtrlToSwitch { to, msg } => {
+                    let outputs = if let Some(sw) = self.physical.get_mut(&to) {
+                        sw.handle_controller_msg(now, msg)
+                    } else if let Some(vs) = self.vswitches.get_mut(&to) {
+                        vs.handle_controller_msg(now, msg)
+                    } else {
+                        Vec::new()
+                    };
+                    self.handle_outputs(now, to, outputs);
+                }
+                Event::ControllerTick => {
+                    let cmds = {
+                        let topo = &self.topo;
+                        self.app.tick(now, topo)
+                    };
+                    self.dispatch_commands(now, cmds);
+                    self.events.push(now + tick, Event::ControllerTick);
+                }
+                Event::StatsPoll => {
+                    let cmds = self.app.poll_stats();
+                    self.dispatch_commands(now, cmds);
+                    self.events.push(now + poll, Event::StatsPoll);
+                }
+                Event::Heartbeat => {
+                    let cmds = self.app.heartbeat(now);
+                    self.dispatch_commands(now, cmds);
+                    self.events.push(now + hb, Event::Heartbeat);
+                }
+                Event::ExpirySweep => {
+                    let nodes: Vec<NodeId> = self.physical.keys().copied().collect();
+                    for n in nodes {
+                        let outs = self.physical.get_mut(&n).unwrap().expire_flows(now);
+                        self.handle_outputs(now, n, outs);
+                    }
+                    let vnodes: Vec<NodeId> = self.vswitches.keys().copied().collect();
+                    for n in vnodes {
+                        let outs = self.vswitches.get_mut(&n).unwrap().expire_flows(now);
+                        self.handle_outputs(now, n, outs);
+                    }
+                    self.events
+                        .push(now + self.sweep_interval, Event::ExpirySweep);
+                }
+                Event::FailVSwitch { node } => {
+                    if let Some(vs) = self.vswitches.get_mut(&node) {
+                        vs.failed = true;
+                    }
+                }
+                Event::JoinVSwitch { node } => {
+                    let cmds = {
+                        let topo = &self.topo;
+                        self.app.join_vswitch(now, topo, node)
+                    };
+                    self.dispatch_commands(now, cmds);
+                }
+                Event::RecoverVSwitch { node } => {
+                    if let Some(vs) = self.vswitches.get_mut(&node) {
+                        vs.failed = false;
+                    }
+                    self.app.recover_vswitch(now, node);
+                }
+            }
+        }
+
+        self.into_report(until, processed)
+    }
+
+    fn into_report(self, until: SimTime, events_processed: u64) -> Report {
+        let mut drops = self.drops;
+        drops.link_queue += self.topo.total_link_drops();
+        drops.link_faults = self.topo.total_link_faults();
+        let mut switches: Vec<SwitchReport> = self
+            .physical
+            .iter()
+            .map(|(n, s)| SwitchReport {
+                node: *n,
+                name: self.topo.name(*n).to_string(),
+                ofa: s.ofa_stats(),
+                dataplane: s.stats(),
+            })
+            .collect();
+        switches.sort_by_key(|s| s.node);
+        let mut vswitches: Vec<VSwitchReport> = self
+            .vswitches
+            .iter()
+            .map(|(n, v)| VSwitchReport {
+                node: *n,
+                name: self.topo.name(*n).to_string(),
+                ofa: v.ofa_stats(),
+                dataplane: v.stats(),
+            })
+            .collect();
+        vswitches.sort_by_key(|v| v.node);
+
+        let middlebox_rejections = self.middleboxes.values().map(|m| m.rejected()).sum();
+
+        Report {
+            duration: until.duration_since(SimTime::ZERO),
+            flows: self
+                .flows
+                .into_iter()
+                .map(|r| FlowOutcome {
+                    id: r.spec.id,
+                    key: r.spec.key,
+                    is_attack: r.spec.is_attack,
+                    emitted: r.emitted,
+                    intended: r.spec.packets,
+                    delivered: r.delivered,
+                    delivered_bytes: r.delivered_bytes,
+                    started_at: r.started_at,
+                    first_delivered: r.first_delivered,
+                    last_delivered: r.last_delivered,
+                    served_by: r.served_by,
+                })
+                .collect(),
+            app: self.app.stats(),
+            switches,
+            vswitches,
+            drops,
+            latency: self.latency,
+            middlebox_rejections,
+            misrouted: self.misrouted,
+            controller_dropped: self.controller_dropped,
+            events_processed,
+            tracked: self.tracked,
+            captures: self.captures,
+        }
+    }
+}

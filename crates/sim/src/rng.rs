@@ -1,0 +1,240 @@
+//! Seeded randomness for workloads and load balancing.
+//!
+//! Everything stochastic in the reproduction — attacker packet spacing,
+//! Pareto flow sizes, spoofed addresses, ECMP tie-breaks — draws from a
+//! [`SimRng`] so a `(seed, parameters)` pair fully determines a run.
+
+use rand::distributions::{Distribution, Uniform};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic random source. Thin wrapper over [`StdRng`] with the
+/// distribution helpers the workloads need.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Create from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derive an independent child stream; used to give each workload
+    /// component its own stream so adding one component does not perturb
+    /// another's draws.
+    pub fn fork(&mut self, stream: u64) -> SimRng {
+        // Mix the stream id into fresh material from the parent.
+        let base: u64 = self.inner.gen();
+        SimRng::new(base ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform integer in `[lo, hi)`. Panics if `lo >= hi`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range");
+        Uniform::new(lo, hi).sample(&mut self.inner)
+    }
+
+    /// Uniform integer in `[0, n)`. Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "empty choice set");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Uniform `u32` over the full range (used for spoofed IPv4 addresses).
+    pub fn u32(&mut self) -> u32 {
+        self.inner.gen()
+    }
+
+    /// Uniform `u64` over the full range.
+    pub fn u64(&mut self) -> u64 {
+        self.inner.gen()
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.inner.gen::<f64>() < p
+        }
+    }
+
+    /// Exponential variate with the given mean (inter-arrival times of a
+    /// Poisson process). Mean must be positive and finite.
+    pub fn exp(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0 && mean.is_finite(), "invalid exponential mean");
+        // Inverse CDF; `1 - u` avoids ln(0).
+        let u: f64 = self.inner.gen();
+        -mean * (1.0 - u).ln()
+    }
+
+    /// Bounded Pareto variate on `[lo, hi]` with shape `alpha`.
+    ///
+    /// This is the canonical heavy-tailed flow-size model: most flows are
+    /// mice near `lo`, a small fraction are elephants near `hi`, matching
+    /// the measurement the paper cites ("the majority of link capacity is
+    /// consumed by a small fraction of large flows").
+    pub fn bounded_pareto(&mut self, lo: f64, hi: f64, alpha: f64) -> f64 {
+        assert!(lo > 0.0 && hi > lo && alpha > 0.0, "invalid Pareto params");
+        let u: f64 = self.inner.gen();
+        let la = lo.powf(alpha);
+        let ha = hi.powf(alpha);
+        // Inverse CDF of the bounded Pareto distribution.
+        (-(u * ha - u * la - ha) / (ha * la)).powf(-1.0 / alpha)
+    }
+
+    /// Pick a uniformly random element of a slice. Panics on empty input.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.index(items.len())]
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.inner.gen_range(0..=i);
+            items.swap(i, j);
+        }
+    }
+}
+
+impl rand::RngCore for SimRng {
+    fn next_u32(&mut self) -> u32 {
+        rand::RngCore::next_u32(&mut self.inner)
+    }
+    fn next_u64(&mut self) -> u64 {
+        rand::RngCore::next_u64(&mut self.inner)
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        rand::RngCore::fill_bytes(&mut self.inner, dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        rand::RngCore::try_fill_bytes(&mut self.inner, dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.u64(), b.u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let va: Vec<u64> = (0..16).map(|_| a.u64()).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn forked_streams_are_independent_and_deterministic() {
+        let mut parent1 = SimRng::new(7);
+        let mut parent2 = SimRng::new(7);
+        let mut c1 = parent1.fork(1);
+        let mut c2 = parent2.fork(1);
+        for _ in 0..32 {
+            assert_eq!(c1.u64(), c2.u64());
+        }
+        let mut parent = SimRng::new(7);
+        let mut a = parent.fork(1);
+        let mut b = parent.fork(2);
+        assert_ne!(
+            (0..8).map(|_| a.u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn exp_mean_is_approximately_right() {
+        let mut rng = SimRng::new(3);
+        let n = 50_000;
+        let mean = 4.0;
+        let sum: f64 = (0..n).map(|_| rng.exp(mean)).sum();
+        let avg = sum / n as f64;
+        assert!((avg - mean).abs() < 0.1, "avg={avg}");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::new(9);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        assert!(!rng.chance(-1.0));
+        assert!(rng.chance(2.0));
+    }
+
+    #[test]
+    fn chance_rate_close_to_p() {
+        let mut rng = SimRng::new(11);
+        let hits = (0..100_000).filter(|_| rng.chance(0.3)).count();
+        let rate = hits as f64 / 100_000.0;
+        assert!((rate - 0.3).abs() < 0.01, "rate={rate}");
+    }
+
+    proptest! {
+        /// Bounded Pareto samples always lie in [lo, hi].
+        #[test]
+        fn prop_pareto_bounds(seed in 0u64..1000, alpha in 0.5f64..3.0) {
+            let mut rng = SimRng::new(seed);
+            for _ in 0..100 {
+                let x = rng.bounded_pareto(10.0, 10_000.0, alpha);
+                prop_assert!((10.0..=10_000.0 + 1e-6).contains(&x), "x={x}");
+            }
+        }
+
+        /// range_u64 respects its bounds.
+        #[test]
+        fn prop_range_bounds(seed: u64, lo in 0u64..100, span in 1u64..1000) {
+            let mut rng = SimRng::new(seed);
+            let hi = lo + span;
+            for _ in 0..50 {
+                let x = rng.range_u64(lo, hi);
+                prop_assert!(x >= lo && x < hi);
+            }
+        }
+
+        /// shuffle produces a permutation.
+        #[test]
+        fn prop_shuffle_is_permutation(seed: u64, n in 0usize..64) {
+            let mut rng = SimRng::new(seed);
+            let mut v: Vec<usize> = (0..n).collect();
+            rng.shuffle(&mut v);
+            let mut sorted = v.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn pareto_is_heavy_tailed() {
+        // With alpha≈1.2 a small fraction of samples should carry most mass.
+        let mut rng = SimRng::new(17);
+        let mut sizes: Vec<f64> = (0..20_000)
+            .map(|_| rng.bounded_pareto(1.0, 100_000.0, 1.2))
+            .collect();
+        sizes.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let total: f64 = sizes.iter().sum();
+        let top10: f64 = sizes.iter().take(sizes.len() / 10).sum();
+        assert!(top10 / total > 0.5, "top 10% carries {:.2}", top10 / total);
+    }
+}

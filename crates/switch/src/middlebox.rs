@@ -1,0 +1,243 @@
+//! Stateful middleboxes.
+//!
+//! §5.4's policy-consistency design exists because "middleboxes often
+//! maintain flow states. When a flow is routed to a new middlebox in the
+//! middle of the connection, the new middlebox may either reject the flow
+//! or handle the flow differently due to lack of pre-established context."
+//! That behaviour is exactly what these models implement: a
+//! [`StatefulFirewall`] rejects mid-flow packets with no established state,
+//! and a [`LoadBalancer`] pins each flow to a backend chosen on its first
+//! packet. Migration that switches middlebox *instances* mid-flow therefore
+//! visibly breaks flows — the failure Scotch's same-instance routing
+//! (Fig. 8) prevents.
+
+use scotch_net::{FlowKey, IpAddr, Packet, PacketKind};
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+/// Outcome of a middlebox processing a packet.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MbVerdict {
+    /// Pass the (possibly rewritten) packet through.
+    Pass(Packet),
+    /// Reject: no established state for a mid-flow packet.
+    RejectNoState(Packet),
+}
+
+impl MbVerdict {
+    /// True when the packet passed.
+    pub fn passed(&self) -> bool {
+        matches!(self, MbVerdict::Pass(_))
+    }
+}
+
+/// A stateful firewall: admits flows on their first packet, then only
+/// packets of flows it has state for (either direction).
+#[derive(Debug, Clone, Default)]
+pub struct StatefulFirewall {
+    established: HashSet<FlowKey>,
+    /// Flows admitted.
+    pub admitted: u64,
+    /// Mid-flow packets rejected for missing state.
+    pub rejected: u64,
+}
+
+impl StatefulFirewall {
+    /// A firewall with no established state.
+    pub fn new() -> Self {
+        StatefulFirewall::default()
+    }
+
+    /// Number of flows with established state.
+    pub fn state_count(&self) -> usize {
+        self.established.len()
+    }
+
+    /// Process one packet.
+    pub fn process(&mut self, packet: Packet) -> MbVerdict {
+        if packet.kind == PacketKind::FlowStart {
+            self.established.insert(packet.key);
+            self.admitted += 1;
+            return MbVerdict::Pass(packet);
+        }
+        if self.established.contains(&packet.key)
+            || self.established.contains(&packet.key.reversed())
+        {
+            MbVerdict::Pass(packet)
+        } else {
+            self.rejected += 1;
+            MbVerdict::RejectNoState(packet)
+        }
+    }
+}
+
+/// A stateful L4 load balancer fronting a virtual IP.
+///
+/// The first packet of a flow to the VIP picks a backend (by flow hash)
+/// and the choice is pinned; mid-flow packets with no pinned state are
+/// rejected, mirroring the firewall's behaviour.
+#[derive(Debug, Clone)]
+pub struct LoadBalancer {
+    /// The virtual IP this balancer fronts.
+    pub vip: IpAddr,
+    backends: Vec<IpAddr>,
+    pinned: HashMap<FlowKey, IpAddr>,
+    /// Mid-flow packets rejected for missing state.
+    pub rejected: u64,
+}
+
+impl LoadBalancer {
+    /// A balancer for `vip` over the given backends (at least one).
+    pub fn new(vip: IpAddr, backends: Vec<IpAddr>) -> Self {
+        assert!(!backends.is_empty(), "need at least one backend");
+        LoadBalancer {
+            vip,
+            backends,
+            pinned: HashMap::new(),
+            rejected: 0,
+        }
+    }
+
+    /// Number of pinned flows.
+    pub fn state_count(&self) -> usize {
+        self.pinned.len()
+    }
+
+    /// Process one packet. Packets not addressed to the VIP pass through
+    /// untouched.
+    pub fn process(&mut self, mut packet: Packet) -> MbVerdict {
+        if packet.key.dst != self.vip {
+            return MbVerdict::Pass(packet);
+        }
+        let backend = match self.pinned.get(&packet.key) {
+            Some(b) => *b,
+            None if packet.kind == PacketKind::FlowStart => {
+                let b = self.backends[(packet.key.hash64() % self.backends.len() as u64) as usize];
+                self.pinned.insert(packet.key, b);
+                b
+            }
+            None => {
+                self.rejected += 1;
+                return MbVerdict::RejectNoState(packet);
+            }
+        };
+        packet.key.dst = backend;
+        MbVerdict::Pass(packet)
+    }
+}
+
+/// Any middlebox instance in the simulation.
+#[derive(Debug, Clone)]
+pub enum Middlebox {
+    /// Stateful firewall.
+    Firewall(StatefulFirewall),
+    /// Stateful load balancer.
+    LoadBalancer(LoadBalancer),
+}
+
+impl Middlebox {
+    /// Dispatch processing.
+    pub fn process(&mut self, packet: Packet) -> MbVerdict {
+        match self {
+            Middlebox::Firewall(f) => f.process(packet),
+            Middlebox::LoadBalancer(l) => l.process(packet),
+        }
+    }
+
+    /// Mid-flow rejections so far.
+    pub fn rejected(&self) -> u64 {
+        match self {
+            Middlebox::Firewall(f) => f.rejected,
+            Middlebox::LoadBalancer(l) => l.rejected,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scotch_net::FlowId;
+    use scotch_sim::SimTime;
+
+    fn key() -> FlowKey {
+        FlowKey::tcp(IpAddr::new(1, 0, 0, 1), 99, IpAddr::new(2, 0, 0, 2), 80)
+    }
+
+    fn start(k: FlowKey) -> Packet {
+        Packet::flow_start(k, FlowId(1), SimTime::ZERO)
+    }
+
+    fn data(k: FlowKey, seq: u32) -> Packet {
+        Packet::data(k, FlowId(1), SimTime::ZERO, seq, 1000)
+    }
+
+    #[test]
+    fn firewall_admits_then_passes() {
+        let mut fw = StatefulFirewall::new();
+        assert!(fw.process(start(key())).passed());
+        assert!(fw.process(data(key(), 1)).passed());
+        // Reverse direction shares state.
+        assert!(fw.process(data(key().reversed(), 1)).passed());
+        assert_eq!(fw.admitted, 1);
+        assert_eq!(fw.state_count(), 1);
+    }
+
+    #[test]
+    fn firewall_rejects_stateless_midflow() {
+        // The §5.4 failure: a flow shows up mid-stream at a firewall that
+        // never saw its SYN.
+        let mut fw = StatefulFirewall::new();
+        let v = fw.process(data(key(), 5));
+        assert_eq!(v, MbVerdict::RejectNoState(data(key(), 5)));
+        assert_eq!(fw.rejected, 1);
+    }
+
+    #[test]
+    fn lb_pins_backend_per_flow() {
+        let vip = IpAddr::new(10, 0, 0, 100);
+        let backends = vec![IpAddr::new(10, 0, 1, 1), IpAddr::new(10, 0, 1, 2)];
+        let mut lb = LoadBalancer::new(vip, backends.clone());
+        let k = FlowKey::tcp(IpAddr::new(1, 1, 1, 1), 5, vip, 80);
+        let MbVerdict::Pass(p1) = lb.process(start(k)) else {
+            panic!()
+        };
+        assert!(backends.contains(&p1.key.dst));
+        let MbVerdict::Pass(p2) = lb.process(data(k, 1)) else {
+            panic!()
+        };
+        assert_eq!(p1.key.dst, p2.key.dst, "backend must stay pinned");
+        assert_eq!(lb.state_count(), 1);
+    }
+
+    #[test]
+    fn lb_rejects_stateless_midflow() {
+        let vip = IpAddr::new(10, 0, 0, 100);
+        let mut lb = LoadBalancer::new(vip, vec![IpAddr::new(10, 0, 1, 1)]);
+        let k = FlowKey::tcp(IpAddr::new(1, 1, 1, 1), 5, vip, 80);
+        assert!(!lb.process(data(k, 3)).passed());
+        assert_eq!(lb.rejected, 1);
+    }
+
+    #[test]
+    fn lb_ignores_other_destinations() {
+        let vip = IpAddr::new(10, 0, 0, 100);
+        let mut lb = LoadBalancer::new(vip, vec![IpAddr::new(10, 0, 1, 1)]);
+        let v = lb.process(data(key(), 3));
+        assert!(v.passed());
+        assert_eq!(lb.state_count(), 0);
+    }
+
+    #[test]
+    fn enum_dispatch() {
+        let mut mb = Middlebox::Firewall(StatefulFirewall::new());
+        assert!(mb.process(start(key())).passed());
+        assert_eq!(mb.rejected(), 0);
+        let mut mb2 = Middlebox::LoadBalancer(LoadBalancer::new(
+            IpAddr::new(9, 9, 9, 9),
+            vec![IpAddr::new(8, 8, 8, 8)],
+        ));
+        let k = FlowKey::tcp(IpAddr::new(1, 1, 1, 1), 5, IpAddr::new(9, 9, 9, 9), 80);
+        assert!(!mb2.process(data(k, 1)).passed());
+        assert_eq!(mb2.rejected(), 1);
+    }
+}

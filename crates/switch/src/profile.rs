@@ -1,0 +1,174 @@
+//! Calibrated device profiles.
+//!
+//! Numbers come from the paper's measurements:
+//!
+//! * **Fig. 3** — OFA Packet-In capacity ordering: Pica8 < HP Procurve ≪
+//!   Open vSwitch. At ~200 new flows/s the Pica8 client-failure fraction
+//!   starts climbing; the Procurve sustains noticeably more; OVS barely
+//!   fails at the experiment's 3800 flows/s peak.
+//! * **Fig. 9** — Pica8 rule insertion: lossless "up to 200 rules/second",
+//!   successful rate "flattens out at about 1000 rules/second".
+//! * **Fig. 10** — the data path collapses (>90 % loss at 500–2000 pps
+//!   offered) once attempted insertion reaches ~1300 rules/s.
+//! * §3.2 — Pica8 has 10 Gbps data ports; HP and OVS 1 Gbps; management
+//!   ports 1 Gbps.
+
+use scotch_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Static capacities of a switch model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SwitchProfile {
+    /// Human-readable device name.
+    pub name: String,
+    /// OFA Packet-In generation capacity, messages/second (Fig. 3/4
+    /// bottleneck).
+    pub packet_in_capacity: f64,
+    /// OFA Packet-In queue depth (table-miss packets waiting for the
+    /// agent); beyond it new-flow packets are lost.
+    pub packet_in_queue: usize,
+    /// Rule insertion rate the device sustains without loss (Fig. 9,
+    /// left of the knee). This is the paper's safe controller budget `R`.
+    pub rule_insert_lossless: f64,
+    /// Saturated successful insertion ceiling (Fig. 9 plateau).
+    pub rule_insert_ceiling: f64,
+    /// Attempted-insertion rate at which the shared switch CPU starves the
+    /// data plane (Fig. 10 turning point). `None` disables the effect.
+    pub interaction_knee: Option<f64>,
+    /// Residual data-plane forwarding capacity (packets/second) past the
+    /// knee. Calibrated so 500–2000 pps offered loses >90 % (Fig. 10).
+    pub collapsed_pps: f64,
+    /// Per-flow-table entry capacity (TCAM bound, §3.3).
+    pub flow_table_capacity: usize,
+    /// Number of flow tables in the pipeline (Pica8 supports the
+    /// multi-table feature Scotch needs, §3.3).
+    pub n_tables: usize,
+    /// Software data-plane forwarding cap in packets/second; `None` means
+    /// the data plane is line-rate (hardware switches — the link model is
+    /// then the only data-plane constraint).
+    pub dataplane_pps: Option<f64>,
+    /// One-way latency of the management-port control channel to the
+    /// controller.
+    pub control_latency: SimDuration,
+}
+
+impl SwitchProfile {
+    /// Pica8 Pronto 3780 (the paper's primary device).
+    pub fn pica8_pronto_3780() -> Self {
+        SwitchProfile {
+            name: "Pica8 Pronto 3780".into(),
+            packet_in_capacity: 200.0,
+            packet_in_queue: 64,
+            rule_insert_lossless: 200.0,
+            rule_insert_ceiling: 1000.0,
+            interaction_knee: Some(1300.0),
+            collapsed_pps: 25.0,
+            flow_table_capacity: 2000,
+            n_tables: 2,
+            dataplane_pps: None,
+            control_latency: SimDuration::from_millis(1),
+        }
+    }
+
+    /// HP Procurve 6600 (older, higher OFA throughput, fewer OpenFlow
+    /// data-plane features — no tunneling / multi-table, §3.3).
+    pub fn hp_procurve_6600() -> Self {
+        SwitchProfile {
+            name: "HP Procurve 6600".into(),
+            packet_in_capacity: 1000.0,
+            packet_in_queue: 64,
+            rule_insert_lossless: 300.0,
+            rule_insert_ceiling: 1200.0,
+            interaction_knee: None,
+            collapsed_pps: f64::INFINITY,
+            flow_table_capacity: 1500,
+            n_tables: 1,
+            dataplane_pps: None,
+            control_latency: SimDuration::from_millis(1),
+        }
+    }
+
+    /// Open vSwitch on an Intel Xeon E5-2450 2.1 GHz host (§3.2): the
+    /// control agent is 1–2 orders of magnitude faster than the hardware
+    /// OFAs; the data plane is software and pps-bounded instead.
+    pub fn open_vswitch() -> Self {
+        SwitchProfile {
+            name: "Open vSwitch".into(),
+            packet_in_capacity: 10_000.0,
+            packet_in_queue: 2048,
+            rule_insert_lossless: 20_000.0,
+            rule_insert_ceiling: 20_000.0,
+            interaction_knee: None,
+            collapsed_pps: f64::INFINITY,
+            flow_table_capacity: 100_000,
+            n_tables: 2,
+            dataplane_pps: Some(300_000.0),
+            control_latency: SimDuration::from_micros(200),
+        }
+    }
+
+    /// Open vSwitch accelerated with the Intel DPDK userspace datapath
+    /// (§5.6: "Recent advancements in packet processing at general purpose
+    /// computers, such as the systems based on the Intel DPDK library, can
+    /// further boost the vSwitch forwarding speed significantly"). Same
+    /// control agent, ~10x the software data plane.
+    pub fn open_vswitch_dpdk() -> Self {
+        SwitchProfile {
+            name: "Open vSwitch (DPDK)".into(),
+            dataplane_pps: Some(3_000_000.0),
+            ..Self::open_vswitch()
+        }
+    }
+
+    /// The controller's safe per-switch rule budget `R` for this device
+    /// (§5.2/§6.1: "the OpenFlow controller should only insert the flow
+    /// rules at a rate that does not cause installation failure").
+    pub fn safe_rule_budget(&self) -> f64 {
+        self.rule_insert_lossless
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_matches_fig3() {
+        let pica = SwitchProfile::pica8_pronto_3780();
+        let hp = SwitchProfile::hp_procurve_6600();
+        let ovs = SwitchProfile::open_vswitch();
+        assert!(pica.packet_in_capacity < hp.packet_in_capacity);
+        assert!(hp.packet_in_capacity < ovs.packet_in_capacity);
+    }
+
+    #[test]
+    fn pica8_matches_fig9_fig10_calibration() {
+        let p = SwitchProfile::pica8_pronto_3780();
+        assert_eq!(p.rule_insert_lossless, 200.0);
+        assert_eq!(p.rule_insert_ceiling, 1000.0);
+        assert_eq!(p.interaction_knee, Some(1300.0));
+        assert_eq!(p.safe_rule_budget(), 200.0);
+    }
+
+    #[test]
+    fn only_vswitch_has_software_dataplane_cap() {
+        assert!(SwitchProfile::pica8_pronto_3780().dataplane_pps.is_none());
+        assert!(SwitchProfile::hp_procurve_6600().dataplane_pps.is_none());
+        assert!(SwitchProfile::open_vswitch().dataplane_pps.is_some());
+    }
+
+    #[test]
+    fn dpdk_boosts_the_data_plane_only() {
+        let ovs = SwitchProfile::open_vswitch();
+        let dpdk = SwitchProfile::open_vswitch_dpdk();
+        assert!(dpdk.dataplane_pps.unwrap() >= 10.0 * ovs.dataplane_pps.unwrap());
+        assert_eq!(dpdk.packet_in_capacity, ovs.packet_in_capacity);
+    }
+
+    #[test]
+    fn scotch_requires_multi_table_on_pica8() {
+        // §3.3 explains the Pica8 choice: multiple flow table support.
+        assert!(SwitchProfile::pica8_pronto_3780().n_tables >= 2);
+        assert_eq!(SwitchProfile::hp_procurve_6600().n_tables, 1);
+    }
+}

@@ -1,0 +1,524 @@
+//! The Open vSwitch model.
+//!
+//! §4: "The vSwitches have higher control plane capacity but lower data
+//! plane throughput compared to the physical switches." A [`VSwitch`] has:
+//!
+//! * a fast software control agent (the OVS profile's Packet-In and
+//!   insertion rates),
+//! * a pps-bounded software data plane (DPDK-less OVS forwards a few
+//!   hundred kpps per core),
+//! * tunnel termination: when a tunneled packet arrives at the vSwitch
+//!   that is the tunnel's endpoint, it decapsulates, recovers the inner
+//!   ingress-port label, and — on table miss — reports both in the
+//!   Packet-In metadata (§5.2), which is how the controller recovers the
+//!   originating physical switch and ingress port.
+
+use crate::ofa::Ofa;
+use crate::profile::SwitchProfile;
+use crate::{DropReason, Output};
+use scotch_net::{Label, NodeId, Packet, PortId, TunnelId};
+use scotch_openflow::messages::{FlowStat, GroupModCommand, OfError};
+use scotch_openflow::{
+    Action, ControllerToSwitch, FlowModCommand, FlowTable, GroupTable, PacketInReason,
+    SwitchToController, TableId,
+};
+use scotch_sim::rate::{Admission, FifoServer};
+use scotch_sim::{SimDuration, SimRng, SimTime};
+
+/// vSwitch counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VSwitchStats {
+    /// Packets forwarded.
+    pub forwarded: u64,
+    /// Packets dropped at the software data plane's pps bound.
+    pub dropped_dataplane: u64,
+    /// Table-miss packets lost in the (fast, but finite) agent.
+    pub dropped_agent: u64,
+    /// Tunneled packets decapsulated here.
+    pub decapsulated: u64,
+}
+
+/// An Open vSwitch participating in the Scotch overlay (mesh or host
+/// vSwitch) or standing alone (the Fig. 3 comparison).
+#[derive(Debug, Clone)]
+pub struct VSwitch {
+    /// The vSwitch's node in the topology.
+    pub node: NodeId,
+    profile: SwitchProfile,
+    table: FlowTable,
+    groups: GroupTable,
+    ofa: Ofa,
+    /// Software data-plane server (pps bound).
+    dataplane: FifoServer,
+    dataplane_service: SimDuration,
+    stats: VSwitchStats,
+    /// When true the vSwitch is failed: it forwards nothing and answers no
+    /// heartbeats (§5.6 failure experiments).
+    pub failed: bool,
+}
+
+impl VSwitch {
+    /// Build a vSwitch with the standard OVS profile.
+    pub fn new(node: NodeId, rng: SimRng) -> Self {
+        Self::with_profile(node, SwitchProfile::open_vswitch(), rng)
+    }
+
+    /// Build with a custom profile (tests, slower/faster hosts).
+    pub fn with_profile(node: NodeId, profile: SwitchProfile, mut rng: SimRng) -> Self {
+        let pps = profile.dataplane_pps.unwrap_or(1e9);
+        VSwitch {
+            node,
+            table: FlowTable::new(profile.flow_table_capacity),
+            groups: GroupTable::new(),
+            ofa: Ofa::new(&profile, rng.fork(0x0FA)),
+            dataplane: FifoServer::new(4096),
+            dataplane_service: FifoServer::service_time(pps),
+            profile,
+            stats: VSwitchStats::default(),
+            failed: false,
+        }
+    }
+
+    /// The device profile.
+    pub fn profile(&self) -> &SwitchProfile {
+        &self.profile
+    }
+
+    /// The flow table (tests, stats collection).
+    pub fn table(&self) -> &FlowTable {
+        &self.table
+    }
+
+    /// Agent counters.
+    pub fn ofa_stats(&self) -> crate::ofa::OfaStats {
+        self.ofa.stats()
+    }
+
+    /// Data-plane counters.
+    pub fn stats(&self) -> VSwitchStats {
+        self.stats
+    }
+
+    /// One-way control-channel latency.
+    pub fn control_latency(&self) -> SimDuration {
+        self.profile.control_latency
+    }
+
+    /// Process a data-plane packet.
+    ///
+    /// `terminates_tunnel` tells the vSwitch whether it is the endpoint of
+    /// the packet's outer tunnel (the composition root knows the tunnel
+    /// table); if so the packet is decapsulated before table lookup.
+    pub fn handle_packet(
+        &mut self,
+        now: SimTime,
+        in_port: PortId,
+        mut packet: Packet,
+        terminates_tunnel: bool,
+    ) -> Vec<Output> {
+        if self.failed {
+            self.stats.dropped_dataplane += 1;
+            return vec![Output::Dropped {
+                reason: DropReason::NoRoute,
+                packet,
+            }];
+        }
+        // Software data plane: per-packet CPU cost.
+        match self.dataplane.offer(now, self.dataplane_service) {
+            Admission::Accepted { .. } => {}
+            Admission::Rejected => {
+                self.stats.dropped_dataplane += 1;
+                return vec![Output::Dropped {
+                    reason: DropReason::DataPlaneOverload,
+                    packet,
+                }];
+            }
+        }
+
+        // Tunnel termination: strip outer tunnel label and inner
+        // ingress-port label, remembering both for Packet-In metadata.
+        let mut via_tunnel: Option<TunnelId> = None;
+        let mut ingress_label: Option<u16> = None;
+        if terminates_tunnel {
+            if let Some(Label::Tunnel(t)) = packet.top_label() {
+                packet.pop_label();
+                via_tunnel = Some(t);
+                self.stats.decapsulated += 1;
+                if let Some(Label::IngressPort(p)) = packet.top_label() {
+                    packet.pop_label();
+                    ingress_label = Some(p);
+                }
+            }
+        }
+
+        match self.table.match_packet(now, &packet, in_port) {
+            Some(entry) => {
+                let actions: Vec<Action> = entry
+                    .instructions
+                    .iter()
+                    .filter_map(|i| match i {
+                        scotch_openflow::Instruction::Apply(a) => Some(a.clone()),
+                        scotch_openflow::Instruction::GotoTable(_) => None,
+                    })
+                    .flatten()
+                    .collect();
+                self.execute_actions(now, in_port, packet, &actions, 0)
+            }
+            None => self.punt_to_controller(now, in_port, packet, via_tunnel, ingress_label),
+        }
+    }
+
+    fn punt_to_controller(
+        &mut self,
+        now: SimTime,
+        in_port: PortId,
+        packet: Packet,
+        via_tunnel: Option<TunnelId>,
+        ingress_label: Option<u16>,
+    ) -> Vec<Output> {
+        match self.ofa.offer_packet_in(now) {
+            Some(at) => vec![Output::ToController {
+                at,
+                msg: SwitchToController::PacketIn {
+                    packet,
+                    in_port,
+                    reason: PacketInReason::NoMatch,
+                    via_tunnel,
+                    ingress_label,
+                },
+            }],
+            None => {
+                self.stats.dropped_agent += 1;
+                vec![Output::Dropped {
+                    reason: DropReason::OfaOverload,
+                    packet,
+                }]
+            }
+        }
+    }
+
+    fn execute_actions(
+        &mut self,
+        now: SimTime,
+        in_port: PortId,
+        packet: Packet,
+        actions: &[Action],
+        depth: u8,
+    ) -> Vec<Output> {
+        let mut outputs = Vec::new();
+        let mut pkt = packet;
+        for action in actions {
+            match action {
+                Action::Output(p) => {
+                    self.stats.forwarded += 1;
+                    outputs.push(Output::Forward {
+                        out_port: *p,
+                        packet: pkt.clone(),
+                    });
+                }
+                Action::ToController => {
+                    outputs.extend(self.punt_to_controller(now, in_port, pkt.clone(), None, None));
+                }
+                Action::PushLabel(l) => pkt.push_label(*l),
+                Action::PopLabel => {
+                    pkt.pop_label();
+                }
+                Action::Drop => {
+                    outputs.push(Output::Dropped {
+                        reason: DropReason::Policy,
+                        packet: pkt.clone(),
+                    });
+                    return outputs;
+                }
+                Action::Group(g) => {
+                    if depth == 0 {
+                        match self.groups.select(*g, &pkt.key) {
+                            Some(acts) => outputs.extend(self.execute_actions(
+                                now,
+                                in_port,
+                                pkt.clone(),
+                                &acts,
+                                1,
+                            )),
+                            None => outputs.push(Output::Dropped {
+                                reason: DropReason::NoRoute,
+                                packet: pkt.clone(),
+                            }),
+                        }
+                    }
+                }
+            }
+        }
+        outputs
+    }
+
+    /// Process a controller message. A failed vSwitch is silent (heartbeat
+    /// detection relies on this, §5.6).
+    pub fn handle_controller_msg(&mut self, now: SimTime, msg: ControllerToSwitch) -> Vec<Output> {
+        if self.failed {
+            return Vec::new();
+        }
+        match msg {
+            ControllerToSwitch::FlowMod { command, .. } => match command {
+                FlowModCommand::Add(entry) => {
+                    let Some(at) = self.ofa.offer_rule_insert(now) else {
+                        return vec![Output::ToController {
+                            at: now + SimDuration::from_millis(1),
+                            msg: SwitchToController::Error {
+                                kind: OfError::FlowModOverload,
+                            },
+                        }];
+                    };
+                    match self.table.insert(at, entry) {
+                        Ok(()) => Vec::new(),
+                        Err(_) => vec![Output::ToController {
+                            at: now + SimDuration::from_millis(1),
+                            msg: SwitchToController::Error {
+                                kind: OfError::TableFull,
+                            },
+                        }],
+                    }
+                }
+                FlowModCommand::DeleteByCookie(c) => {
+                    self.table.remove_by_cookie(c);
+                    Vec::new()
+                }
+                FlowModCommand::DeleteExact(m) => {
+                    self.table.remove_exact(&m);
+                    Vec::new()
+                }
+                FlowModCommand::DeleteAll => {
+                    self.table.clear();
+                    Vec::new()
+                }
+            },
+            ControllerToSwitch::GroupMod { group, command } => {
+                match command {
+                    GroupModCommand::Install(entry) => self.groups.install(group, entry),
+                    GroupModCommand::Remove => {
+                        self.groups.remove(group);
+                    }
+                    GroupModCommand::SetBucketAlive { bucket, alive } => {
+                        if let Some(g) = self.groups.get_mut(group) {
+                            if let Some(b) = g.buckets.get_mut(bucket) {
+                                b.alive = alive;
+                            }
+                        }
+                    }
+                }
+                Vec::new()
+            }
+            ControllerToSwitch::PacketOut { packet, out_port } => {
+                self.stats.forwarded += 1;
+                vec![Output::Forward { out_port, packet }]
+            }
+            ControllerToSwitch::FlowStatsRequest => {
+                let stats: Vec<FlowStat> = self
+                    .table
+                    .iter()
+                    .map(|e| FlowStat {
+                        table: TableId(0),
+                        matcher: e.matcher,
+                        cookie: e.cookie,
+                        packet_count: e.packet_count,
+                        byte_count: e.byte_count,
+                        duration: now.duration_since(e.installed_at),
+                    })
+                    .collect();
+                vec![Output::ToController {
+                    at: now + SimDuration::from_micros(500),
+                    msg: SwitchToController::FlowStatsReply { stats },
+                }]
+            }
+            ControllerToSwitch::EchoRequest { nonce } => vec![Output::ToController {
+                at: now + SimDuration::from_micros(200),
+                msg: SwitchToController::EchoReply { nonce },
+            }],
+            ControllerToSwitch::Barrier { xid } => vec![Output::ToController {
+                at: now + SimDuration::from_micros(500),
+                msg: SwitchToController::BarrierReply { xid },
+            }],
+        }
+    }
+
+    /// Expire timed-out entries, emitting FlowRemoved notifications.
+    pub fn expire_flows(&mut self, now: SimTime) -> Vec<Output> {
+        self.table
+            .expire(now)
+            .into_iter()
+            .map(|e| Output::ToController {
+                at: now + SimDuration::from_micros(500),
+                msg: SwitchToController::FlowRemoved {
+                    table: TableId(0),
+                    matcher: e.matcher,
+                    cookie: e.cookie,
+                    packet_count: e.packet_count,
+                    byte_count: e.byte_count,
+                },
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scotch_net::{FlowId, FlowKey, IpAddr};
+    use scotch_openflow::{FlowEntry, Match};
+
+    fn vs() -> VSwitch {
+        VSwitch::new(NodeId(1), SimRng::new(3))
+    }
+
+    fn pkt(sport: u16) -> Packet {
+        Packet::flow_start(
+            FlowKey::tcp(IpAddr::new(1, 0, 0, 1), sport, IpAddr::new(2, 0, 0, 2), 80),
+            FlowId(sport as u64),
+            SimTime::ZERO,
+        )
+    }
+
+    #[test]
+    fn decapsulates_and_reports_tunnel_metadata() {
+        let mut v = vs();
+        let mut p = pkt(1);
+        p.push_label(Label::IngressPort(4));
+        p.push_label(Label::Tunnel(TunnelId(9)));
+        let outs = v.handle_packet(SimTime::ZERO, PortId(0), p, true);
+        match &outs[0] {
+            Output::ToController {
+                msg:
+                    SwitchToController::PacketIn {
+                        packet,
+                        via_tunnel,
+                        ingress_label,
+                        ..
+                    },
+                ..
+            } => {
+                assert_eq!(*via_tunnel, Some(TunnelId(9)));
+                assert_eq!(*ingress_label, Some(4));
+                assert!(packet.labels.is_empty(), "labels must be stripped");
+            }
+            o => panic!("expected PacketIn, got {o:?}"),
+        }
+        assert_eq!(v.stats().decapsulated, 1);
+    }
+
+    #[test]
+    fn non_terminating_keeps_labels() {
+        let mut v = vs();
+        let mut p = pkt(1);
+        p.push_label(Label::Tunnel(TunnelId(9)));
+        let outs = v.handle_packet(SimTime::ZERO, PortId(0), p, false);
+        match &outs[0] {
+            Output::ToController {
+                msg:
+                    SwitchToController::PacketIn {
+                        packet, via_tunnel, ..
+                    },
+                ..
+            } => {
+                assert_eq!(*via_tunnel, None);
+                assert_eq!(packet.labels.len(), 1);
+            }
+            o => panic!("unexpected {o:?}"),
+        }
+    }
+
+    #[test]
+    fn installed_rule_forwards_into_next_tunnel() {
+        let mut v = vs();
+        v.handle_controller_msg(
+            SimTime::ZERO,
+            ControllerToSwitch::FlowMod {
+                table: TableId(0),
+                command: FlowModCommand::Add(FlowEntry::apply(
+                    Match::exact(pkt(1).key),
+                    10,
+                    vec![Action::push_tunnel(TunnelId(2)), Action::Output(PortId(1))],
+                )),
+            },
+        );
+        let outs = v.handle_packet(SimTime::from_millis(1), PortId(0), pkt(1), false);
+        match &outs[0] {
+            Output::Forward { out_port, packet } => {
+                assert_eq!(*out_port, PortId(1));
+                assert_eq!(packet.top_label(), Some(Label::Tunnel(TunnelId(2))));
+            }
+            o => panic!("unexpected {o:?}"),
+        }
+    }
+
+    #[test]
+    fn high_packet_in_capacity() {
+        // 5000 new flows/s is fatal for the Pica8 OFA but trivial for OVS.
+        let mut v = vs();
+        let mut ok = 0;
+        for i in 0..5000u64 {
+            let now = SimTime::from_nanos(i * 200_000);
+            if matches!(
+                v.handle_packet(now, PortId(0), pkt((i % 60000) as u16), false)[0],
+                Output::ToController { .. }
+            ) {
+                ok += 1;
+            }
+        }
+        assert_eq!(ok, 5000, "OVS agent should absorb 5000 flows/s");
+    }
+
+    #[test]
+    fn dataplane_pps_bound_drops() {
+        // Offer far beyond 300k pps in one burst: the 4096-deep queue fills.
+        let mut v = vs();
+        let mut dropped = 0;
+        for i in 0..10_000u16 {
+            let outs = v.handle_packet(SimTime::ZERO, PortId(0), pkt(i), false);
+            if matches!(
+                outs[0],
+                Output::Dropped {
+                    reason: DropReason::DataPlaneOverload,
+                    ..
+                }
+            ) {
+                dropped += 1;
+            }
+        }
+        assert!(dropped > 0);
+        assert_eq!(v.stats().dropped_dataplane, dropped);
+    }
+
+    #[test]
+    fn failed_vswitch_is_silent() {
+        let mut v = vs();
+        v.failed = true;
+        assert!(v
+            .handle_controller_msg(SimTime::ZERO, ControllerToSwitch::EchoRequest { nonce: 1 })
+            .is_empty());
+        let outs = v.handle_packet(SimTime::ZERO, PortId(0), pkt(1), false);
+        assert!(matches!(outs[0], Output::Dropped { .. }));
+    }
+
+    #[test]
+    fn stats_reply_covers_table() {
+        let mut v = vs();
+        v.handle_controller_msg(
+            SimTime::ZERO,
+            ControllerToSwitch::FlowMod {
+                table: TableId(0),
+                command: FlowModCommand::Add(
+                    FlowEntry::apply(Match::exact(pkt(1).key), 1, vec![]).with_cookie(5),
+                ),
+            },
+        );
+        let outs =
+            v.handle_controller_msg(SimTime::from_secs(1), ControllerToSwitch::FlowStatsRequest);
+        match &outs[0] {
+            Output::ToController {
+                msg: SwitchToController::FlowStatsReply { stats },
+                ..
+            } => assert_eq!(stats.len(), 1),
+            o => panic!("unexpected {o:?}"),
+        }
+    }
+}

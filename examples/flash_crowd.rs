@@ -1,0 +1,55 @@
+//! Flash crowd: Scotch's benefit is not DDoS-specific. A legitimate load
+//! surge ("normal (e.g., flash crowds) ... traffic surge", paper abstract)
+//! overloads the OFA exactly the same way; Scotch absorbs it and then
+//! withdraws.
+//!
+//! ```text
+//! cargo run --release --example flash_crowd
+//! ```
+
+use scotch::app::ControllerMode;
+use scotch::scenario::Scenario;
+use scotch_sim::SimTime;
+use scotch_workload::flash::RateProfile;
+
+fn main() {
+    let profile = RateProfile {
+        base: 30.0,
+        peak: 1_800.0,
+        surge_start: SimTime::from_secs(3),
+        peak_start: SimTime::from_secs(4),
+        peak_end: SimTime::from_secs(9),
+        surge_end: SimTime::from_secs(10),
+    };
+    println!(
+        "flash crowd: {} -> {} flows/s between t=3s and t=10s\n",
+        profile.base, profile.peak
+    );
+
+    for (label, mode) in [
+        ("baseline", ControllerMode::Baseline),
+        ("scotch  ", ControllerMode::Scotch),
+    ] {
+        let report = Scenario::overlay_datacenter(4)
+            .with_mode(mode)
+            .with_flash_crowd(profile)
+            .run(SimTime::from_secs(16), 99);
+        let peak_failure =
+            report.client_failure_fraction_between(SimTime::from_secs(4), SimTime::from_secs(9));
+        println!(
+            "{label}: {} flows, peak-window failure {:.1}%, activations {}, withdrawals {}",
+            report.client_flows(),
+            peak_failure * 100.0,
+            report.app.activations,
+            report.app.withdrawals,
+        );
+        // A flash crowd is all legitimate users: every failed flow is a
+        // lost customer.
+        let lost = report
+            .flows
+            .iter()
+            .filter(|f| !f.is_attack && !f.succeeded())
+            .count();
+        println!("         lost users: {lost}");
+    }
+}
