@@ -1,11 +1,11 @@
-//! Criterion micro-benchmarks of the hot paths, plus an end-to-end
-//! simulated-second benchmark.
+//! Micro-benchmarks of the hot paths, plus an end-to-end simulated-second
+//! benchmark, on a small self-contained timing harness (`harness = false`;
+//! the build is offline so criterion is not available).
 //!
 //! ```text
-//! cargo bench -p scotch-bench
+//! cargo bench -p scotch-bench [-- <name-filter>]
 //! ```
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use scotch::scenario::Scenario;
 use scotch_net::{FlowId, FlowKey, IpAddr, Packet, PortId};
 use scotch_openflow::{
@@ -13,13 +13,46 @@ use scotch_openflow::{
 };
 use scotch_sim::rate::FifoServer;
 use scotch_sim::{EventQueue, SimRng, SimTime};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Measure `f`: calibrate an iteration count to ~50 ms per sample, take
+/// five samples, and report the best and median ns/iter.
+fn bench<R>(filter: &Option<String>, name: &str, mut f: impl FnMut() -> R) {
+    if let Some(pat) = filter {
+        if !name.contains(pat.as_str()) {
+            return;
+        }
+    }
+    // Warm up and estimate the per-iteration cost.
+    let t0 = Instant::now();
+    black_box(f());
+    let once = t0.elapsed().max(Duration::from_nanos(1));
+    let iters =
+        (Duration::from_millis(50).as_nanos() / once.as_nanos()).clamp(1, 10_000_000) as u64;
+
+    let mut samples: Vec<f64> = (0..5)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            t.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    println!(
+        "{name:<40} {:>12.0} ns/iter (best {:>12.0}, {iters} iters/sample)",
+        samples[samples.len() / 2],
+        samples[0]
+    );
+}
 
 fn key(i: u32) -> FlowKey {
     FlowKey::tcp(IpAddr(0x0a00_0000 + i), 1024, IpAddr::new(10, 0, 1, 1), 80)
 }
 
-fn bench_flow_table(c: &mut Criterion) {
-    let mut group = c.benchmark_group("flow_table_lookup");
+fn bench_flow_table(filter: &Option<String>) {
     for n_rules in [16usize, 256, 2000] {
         let mut pipeline = Pipeline::new(1, n_rules + 1);
         for i in 0..n_rules as u32 {
@@ -36,14 +69,13 @@ fn bench_flow_table(c: &mut Criterion) {
                 .unwrap();
         }
         let pkt = Packet::flow_start(key(n_rules as u32 / 2), FlowId(1), SimTime::ZERO);
-        group.bench_with_input(BenchmarkId::from_parameter(n_rules), &n_rules, |b, _| {
-            b.iter(|| pipeline.process(SimTime::ZERO, black_box(&pkt), PortId(0)))
+        bench(filter, &format!("flow_table_lookup/{n_rules}"), || {
+            pipeline.process(SimTime::ZERO, black_box(&pkt), PortId(0))
         });
     }
-    group.finish();
 }
 
-fn bench_group_select(c: &mut Criterion) {
+fn bench_group_select(filter: &Option<String>) {
     let mut table = scotch_openflow::GroupTable::new();
     table.install(
         scotch_openflow::GroupId(1),
@@ -55,80 +87,49 @@ fn bench_group_select(c: &mut Criterion) {
         ),
     );
     let mut i = 0u32;
-    c.bench_function("group_select_hash_8_buckets", |b| {
-        b.iter(|| {
-            i = i.wrapping_add(1);
-            table.select(scotch_openflow::GroupId(1), black_box(&key(i)))
-        })
+    bench(filter, "group_select_hash_8_buckets", || {
+        i = i.wrapping_add(1);
+        table.select(scotch_openflow::GroupId(1), black_box(&key(i)))
     });
 }
 
-fn bench_flow_hash(c: &mut Criterion) {
+fn bench_flow_hash(filter: &Option<String>) {
     let k = key(12345);
-    c.bench_function("flowkey_hash64", |b| b.iter(|| black_box(&k).hash64()));
+    bench(filter, "flowkey_hash64", || black_box(&k).hash64());
 }
 
-fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("event_queue_push_pop_1k", |b| {
-        b.iter(|| {
-            let mut q = EventQueue::new();
-            for i in 0..1000u64 {
-                q.push(SimTime::from_nanos((i * 7919) % 10_000), i);
-            }
-            let mut sum = 0u64;
-            while let Some((_, v)) = q.pop() {
-                sum += v;
-            }
-            black_box(sum)
-        })
+fn bench_event_queue(filter: &Option<String>) {
+    bench(filter, "event_queue_push_pop_1k", || {
+        let mut q = EventQueue::new();
+        for i in 0..1000u64 {
+            q.push(SimTime::from_nanos((i * 7919) % 10_000), i);
+        }
+        let mut sum = 0u64;
+        while let Some((_, v)) = q.pop() {
+            sum += v;
+        }
+        black_box(sum)
     });
 }
 
-fn bench_fifo_server(c: &mut Criterion) {
-    c.bench_function("fifo_server_offer", |b| {
-        let mut server = FifoServer::new(64);
-        let st = FifoServer::service_time(200.0);
-        let mut t = 0u64;
-        b.iter(|| {
-            t += 1_000_000;
-            server.offer(SimTime::from_nanos(t), st)
-        })
+fn bench_fifo_server(filter: &Option<String>) {
+    let mut server = FifoServer::new(64);
+    let st = FifoServer::service_time(200.0);
+    let mut t = 0u64;
+    bench(filter, "fifo_server_offer", || {
+        t += 1_000_000;
+        server.offer(SimTime::from_nanos(t), st)
     });
 }
 
-fn bench_rng(c: &mut Criterion) {
+fn bench_rng(filter: &Option<String>) {
     let mut rng = SimRng::new(1);
-    c.bench_function("rng_bounded_pareto", |b| {
-        b.iter(|| rng.bounded_pareto(1.0, 100_000.0, 1.2))
+    bench(filter, "rng_bounded_pareto", || {
+        rng.bounded_pareto(1.0, 100_000.0, 1.2)
     });
 }
 
-fn bench_end_to_end(c: &mut Criterion) {
-    let mut group = c.benchmark_group("end_to_end");
-    group.sample_size(10);
-    // One simulated second of the full Scotch data-center scenario under
-    // a 2000 flows/s flood: the throughput figure of the whole engine.
-    group.bench_function("simulated_second_ddos_2k", |b| {
-        b.iter(|| {
-            Scenario::overlay_datacenter(4)
-                .with_clients(100.0)
-                .with_attack(2_000.0)
-                .run(SimTime::from_secs(1), 42)
-                .events_processed
-        })
-    });
-    group.bench_function("simulated_second_baseline_quiet", |b| {
-        b.iter(|| {
-            Scenario::single_switch(scotch_switch::SwitchProfile::pica8_pronto_3780())
-                .with_clients(100.0)
-                .run(SimTime::from_secs(1), 42)
-                .events_processed
-        })
-    });
-    group.finish();
-}
-
-fn bench_wire_codec(c: &mut Criterion) {
+fn bench_wire_codec(filter: &Option<String>) {
     use scotch_openflow::wire::{decode_message, encode_message, OfMessage};
     use scotch_openflow::{ControllerToSwitch, FlowEntry, FlowModCommand, Instruction};
     let entry = FlowEntry::new(
@@ -141,23 +142,44 @@ fn bench_wire_codec(c: &mut Criterion) {
         command: FlowModCommand::Add(entry),
     });
     let bytes = encode_message(&msg, 1).unwrap();
-    c.bench_function("wire_encode_flow_mod", |b| {
-        b.iter(|| encode_message(black_box(&msg), 1).unwrap())
+    bench(filter, "wire_encode_flow_mod", || {
+        encode_message(black_box(&msg), 1).unwrap()
     });
-    c.bench_function("wire_decode_flow_mod", |b| {
-        b.iter(|| decode_message(black_box(&bytes)).unwrap())
+    bench(filter, "wire_decode_flow_mod", || {
+        decode_message(black_box(&bytes)).unwrap()
     });
 }
 
-criterion_group!(
-    benches,
-    bench_flow_table,
-    bench_group_select,
-    bench_flow_hash,
-    bench_event_queue,
-    bench_fifo_server,
-    bench_rng,
-    bench_wire_codec,
-    bench_end_to_end
-);
-criterion_main!(benches);
+fn bench_end_to_end(filter: &Option<String>) {
+    // One simulated second of the full Scotch data-center scenario under
+    // a 2000 flows/s flood: the throughput figure of the whole engine.
+    bench(filter, "simulated_second_ddos_2k", || {
+        Scenario::overlay_datacenter(4)
+            .with_clients(100.0)
+            .with_attack(2_000.0)
+            .run(SimTime::from_secs(1), 42)
+            .events_processed
+    });
+    bench(filter, "simulated_second_baseline_quiet", || {
+        Scenario::single_switch(scotch_switch::SwitchProfile::pica8_pronto_3780())
+            .with_clients(100.0)
+            .run(SimTime::from_secs(1), 42)
+            .events_processed
+    });
+}
+
+fn main() {
+    // `cargo bench` passes --bench; a bare string argument filters by name.
+    let filter = std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with("--"))
+        .filter(|a| !a.is_empty());
+    bench_flow_table(&filter);
+    bench_group_select(&filter);
+    bench_flow_hash(&filter);
+    bench_event_queue(&filter);
+    bench_fifo_server(&filter);
+    bench_rng(&filter);
+    bench_wire_codec(&filter);
+    bench_end_to_end(&filter);
+}

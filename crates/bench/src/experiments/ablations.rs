@@ -4,6 +4,7 @@ use crate::{Scale, Table};
 use scotch::scenario::Scenario;
 use scotch::ScotchConfig;
 use scotch_openflow::SelectionPolicy;
+use scotch_runner::{Job, SweepRunner};
 use scotch_sim::{SimDuration, SimTime};
 
 /// **A1** — migration disabled: elephants stay on the overlay, so the
@@ -12,7 +13,7 @@ use scotch_sim::{SimDuration, SimTime};
 /// desirable to only forward flows by using vSwitches").
 pub fn a1_no_migration(scale: Scale, seed: u64) -> Table {
     let horizon = SimTime::from_secs(scale.pick(12, 8));
-    let run = |migration: bool| {
+    let run = move |migration: bool| {
         Scenario::overlay_datacenter(4)
             .with_config(ScotchConfig {
                 migration_enabled: migration,
@@ -23,8 +24,16 @@ pub fn a1_no_migration(scale: Scale, seed: u64) -> Table {
             .with_elephants(3, 1000.0, scale.pick(8000, 4000), SimTime::from_secs(2))
             .run(horizon, seed)
     };
-    let on = run(true);
-    let off = run(false);
+    // The two arms are independent simulations; run them as a two-job sweep.
+    let jobs = vec![
+        Job::new("migration_on", seed, move |_ctx| run(true)),
+        Job::new("migration_off", seed, move |_ctx| run(false)),
+    ];
+    let mut arms = SweepRunner::new()
+        .run("ablation_migration", jobs)
+        .into_values();
+    let off = arms.pop().expect("off arm");
+    let on = arms.pop().expect("on arm");
 
     let mesh_forwarded = |r: &scotch::Report| -> f64 {
         r.vswitches
@@ -154,24 +163,36 @@ pub fn a3_withdrawal_thresholds(scale: Scale, seed: u64) -> Table {
             "post_attack_client_failure",
         ],
     );
-    for th in thresholds {
-        let report = Scenario::overlay_datacenter(4)
-            .with_config(ScotchConfig {
-                withdrawal_threshold: th,
-                ..Default::default()
+    let jobs: Vec<Job<Vec<f64>>> = thresholds
+        .iter()
+        .map(|&th| {
+            Job::new(format!("threshold{th}"), seed, move |ctx| {
+                let report = Scenario::overlay_datacenter(4)
+                    .with_config(ScotchConfig {
+                        withdrawal_threshold: th,
+                        ..Default::default()
+                    })
+                    .with_clients(50.0)
+                    .with_attack_window(2_000.0, SimTime::from_secs(1), SimTime::from_secs(4))
+                    .run(horizon, seed);
+                ctx.add_units(report.events_processed);
+                vec![
+                    th,
+                    report.app.activations as f64,
+                    report.app.withdrawals as f64,
+                    report.client_failure_fraction_between(
+                        SimTime::from_secs(7),
+                        horizon.saturating_sub(SimDuration::from_secs(1)),
+                    ),
+                ]
             })
-            .with_clients(50.0)
-            .with_attack_window(2_000.0, SimTime::from_secs(1), SimTime::from_secs(4))
-            .run(horizon, seed);
-        table.push(vec![
-            th,
-            report.app.activations as f64,
-            report.app.withdrawals as f64,
-            report.client_failure_fraction_between(
-                SimTime::from_secs(7),
-                horizon.saturating_sub(SimDuration::from_secs(1)),
-            ),
-        ]);
+        })
+        .collect();
+    for row in SweepRunner::new()
+        .run("ablation_withdrawal", jobs)
+        .into_values()
+    {
+        table.push(row);
     }
     table
 }

@@ -10,6 +10,7 @@ use crate::{Scale, Table};
 use scotch_net::PortId;
 use scotch_net::{FlowId, FlowKey, IpAddr, NodeId, Packet};
 use scotch_openflow::{Action, ControllerToSwitch, FlowEntry, FlowModCommand, Match, TableId};
+use scotch_runner::{Job, SweepRunner};
 use scotch_sim::{SimRng, SimTime};
 use scotch_switch::{DropReason, Output, PhysicalSwitch, SwitchProfile};
 
@@ -103,26 +104,20 @@ pub fn run(scale: Scale, seed: u64) -> Table {
         "Data-path loss ratio vs attempted rule insertion rate (Pica8)",
         &["insert_rate", "loss_500pps", "loss_1000pps", "loss_2000pps"],
     );
-    let mut rows = Vec::new();
-    crossbeam::thread::scope(|s| {
-        let mut handles = Vec::new();
-        for &r in &insert_rates {
-            handles.push(s.spawn(move |_| {
+    let jobs: Vec<Job<Vec<f64>>> = insert_rates
+        .iter()
+        .map(|&r| {
+            Job::new(format!("insert{r}"), seed, move |_ctx| {
                 vec![
                     r,
                     loss_ratio(r, 500.0, secs, seed),
                     loss_ratio(r, 1000.0, secs, seed),
                     loss_ratio(r, 2000.0, secs, seed),
                 ]
-            }));
-        }
-        for h in handles {
-            rows.push(h.join().expect("point"));
-        }
-    })
-    .expect("scope");
-    rows.sort_by(|a, b| a[0].partial_cmp(&b[0]).unwrap());
-    for row in rows {
+            })
+        })
+        .collect();
+    for row in SweepRunner::new().run("fig10", jobs).into_values() {
         table.push(row);
     }
     table

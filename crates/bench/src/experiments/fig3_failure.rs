@@ -9,6 +9,7 @@
 
 use crate::{Scale, Table};
 use scotch::scenario::Scenario;
+use scotch_runner::{Job, SweepRunner};
 use scotch_sim::SimTime;
 use scotch_switch::SwitchProfile;
 
@@ -31,30 +32,27 @@ pub fn run(scale: Scale, seed: u64) -> Table {
         SwitchProfile::hp_procurve_6600(),
         SwitchProfile::open_vswitch(),
     ];
-    let mut rows: Vec<Vec<f64>> = Vec::new();
-    crossbeam::thread::scope(|s| {
-        let mut handles = Vec::new();
-        for &rate in &rates {
+    // One job per attack rate; the runner preserves the (ascending) input
+    // order, so no post-sort is needed.
+    let jobs: Vec<Job<Vec<f64>>> = rates
+        .iter()
+        .map(|&rate| {
             let devices = devices.clone();
-            handles.push(s.spawn(move |_| {
+            Job::new(format!("attack{rate}"), seed, move |ctx| {
                 let mut row = vec![rate];
                 for profile in devices {
                     let report = Scenario::single_switch(profile)
                         .with_clients(100.0)
                         .with_attack(rate)
                         .run(horizon, seed);
+                    ctx.add_units(report.events_processed);
                     row.push(report.client_failure_fraction());
                 }
                 row
-            }));
-        }
-        for h in handles {
-            rows.push(h.join().expect("point"));
-        }
-    })
-    .expect("scope");
-    rows.sort_by(|a, b| a[0].partial_cmp(&b[0]).unwrap());
-    for row in rows {
+            })
+        })
+        .collect();
+    for row in SweepRunner::new().run("fig3", jobs).into_values() {
         table.push(row);
     }
     table

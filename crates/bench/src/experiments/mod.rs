@@ -9,6 +9,7 @@ pub mod fig9_insertion;
 pub mod scotch_eval;
 
 use crate::{Scale, Table};
+use scotch_runner::{Job, SweepRunner};
 
 /// An experiment entry point: `(scale, seed) -> result table`.
 pub type Runner = fn(Scale, u64) -> Table;
@@ -38,24 +39,25 @@ pub fn all() -> Vec<(&'static str, Runner)> {
 }
 
 /// Run experiments whose id matches `filter` (or all when `filter` is
-/// `"all"`), in parallel.
+/// `"all"`), in parallel on the shared sweep runner. Results come back in
+/// paper order regardless of scheduling.
 pub fn run_matching(filter: &str, scale: Scale, seed: u64) -> Vec<Table> {
-    let jobs: Vec<_> = all()
+    sweep_matching(filter, scale, seed).into_values()
+}
+
+/// Like [`run_matching`] but returns the full [`scotch_runner::Sweep`], so
+/// callers can inspect per-experiment wall-times or emit a run manifest.
+pub fn sweep_matching(filter: &str, scale: Scale, seed: u64) -> scotch_runner::Sweep<Table> {
+    let jobs: Vec<Job<Table>> = all()
         .into_iter()
         .filter(|(id, _)| filter == "all" || *id == filter)
+        .map(|(id, runner)| {
+            Job::new(id, seed, move |ctx| {
+                let table = runner(scale, seed);
+                ctx.add_units(table.rows.len() as u64);
+                table
+            })
+        })
         .collect();
-    let mut results: Vec<Option<Table>> = (0..jobs.len()).map(|_| None).collect();
-    crossbeam::thread::scope(|s| {
-        let mut handles = Vec::new();
-        for (id, runner) in &jobs {
-            let id = *id;
-            let runner = *runner;
-            handles.push((id, s.spawn(move |_| runner(scale, seed))));
-        }
-        for (i, (_, h)) in handles.into_iter().enumerate() {
-            results[i] = Some(h.join().expect("experiment thread panicked"));
-        }
-    })
-    .expect("scope");
-    results.into_iter().map(|t| t.expect("ran")).collect()
+    SweepRunner::new().run("experiments", jobs)
 }

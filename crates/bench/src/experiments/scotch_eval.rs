@@ -13,6 +13,7 @@ use scotch::app::ControllerMode;
 use scotch::scenario::Scenario;
 use scotch::ScotchConfig;
 use scotch_controller::flowdb::FlowPath;
+use scotch_runner::{Job, SweepRunner};
 use scotch_sim::{SimDuration, SimTime};
 
 /// **E11 / Fig. 11** — ingress-port differentiation.
@@ -171,15 +172,15 @@ pub fn fig13_capacity_scaling(scale: Scale, seed: u64) -> Table {
         "Overlay capacity vs number of mesh vSwitches (attack 25k flows/s)",
         &["n_vswitches", "vswitch_packet_in_rate", "client_failure"],
     );
-    let mut rows = Vec::new();
-    crossbeam::thread::scope(|s| {
-        let mut handles = Vec::new();
-        for &n in &sizes {
-            handles.push(s.spawn(move |_| {
+    let jobs: Vec<Job<Vec<f64>>> = sizes
+        .iter()
+        .map(|&n| {
+            Job::new(format!("mesh{n}"), seed, move |ctx| {
                 let report = Scenario::overlay_datacenter(n)
                     .with_clients(100.0)
                     .with_attack(attack)
                     .run(horizon, seed);
+                ctx.add_units(report.events_processed);
                 // Count only the mesh vSwitches' Packet-Ins (host vSwitch
                 // agents see little in this experiment).
                 let mesh_pktin: u64 = report
@@ -193,15 +194,10 @@ pub fn fig13_capacity_scaling(scale: Scale, seed: u64) -> Table {
                     horizon.saturating_sub(SimDuration::from_secs(1)),
                 );
                 vec![n as f64, mesh_pktin as f64 / horizon.as_secs_f64(), failure]
-            }));
-        }
-        for h in handles {
-            rows.push(h.join().expect("point"));
-        }
-    })
-    .expect("scope");
-    rows.sort_by(|a, b| a[0].partial_cmp(&b[0]).unwrap());
-    for row in rows {
+            })
+        })
+        .collect();
+    for row in SweepRunner::new().run("fig13", jobs).into_values() {
         table.push(row);
     }
     table

@@ -1,11 +1,11 @@
 //! Result tables and artifact emission.
 
-use serde::Serialize;
+use scotch_runner::Json;
 use std::fs;
 use std::path::Path;
 
 /// A rectangular result table: named columns, `f64` cells.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     /// Experiment id, e.g. `"fig3"`.
     pub id: String,
@@ -93,6 +93,28 @@ impl Table {
         let i = self.col(name);
         self.rows.iter().map(|r| r[i]).collect()
     }
+
+    /// Render as a JSON document (same layout the serde derive produced:
+    /// `id`, `title`, `columns`, `rows`).
+    pub fn to_json(&self) -> String {
+        Json::obj()
+            .set("id", self.id.as_str())
+            .set("title", self.title.as_str())
+            .set(
+                "columns",
+                Json::Arr(self.columns.iter().map(|c| Json::Str(c.clone())).collect()),
+            )
+            .set(
+                "rows",
+                Json::Arr(
+                    self.rows
+                        .iter()
+                        .map(|r| Json::Arr(r.iter().map(|v| Json::Num(*v)).collect()))
+                        .collect(),
+                ),
+            )
+            .pretty()
+    }
 }
 
 fn format_num(v: f64) -> String {
@@ -109,10 +131,7 @@ fn format_num(v: f64) -> String {
 pub fn write_artifacts(dir: &Path, table: &Table) -> std::io::Result<()> {
     fs::create_dir_all(dir)?;
     fs::write(dir.join(format!("{}.csv", table.id)), table.to_csv())?;
-    fs::write(
-        dir.join(format!("{}.json", table.id)),
-        serde_json::to_string_pretty(table).expect("table serializes"),
-    )?;
+    fs::write(dir.join(format!("{}.json", table.id)), table.to_json())?;
     Ok(())
 }
 

@@ -5,11 +5,9 @@
 //! A spoofed-source DDoS packet is, by construction, a fresh [`FlowKey`] —
 //! "a spoofed packet is treated as a new flow by the switch" (§3.2).
 
-use serde::{Deserialize, Serialize};
-
 /// An IPv4 address as a plain `u32` (network byte order semantics are
 /// irrelevant inside the simulator).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct IpAddr(pub u32);
 
 impl IpAddr {
@@ -37,7 +35,7 @@ impl core::fmt::Display for IpAddr {
 }
 
 /// Transport protocol of a flow.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Protocol {
     /// TCP (the paper's SYN-flood attack traffic and client flows).
     Tcp,
@@ -59,7 +57,7 @@ impl Protocol {
 }
 
 /// The classic 5-tuple identifying a flow.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FlowKey {
     /// Source IPv4 address.
     pub src: IpAddr,
@@ -151,7 +149,7 @@ impl core::fmt::Display for FlowKey {
 /// Simulator-global unique flow identifier, assigned by workload generators
 /// for accounting (the 5-tuple identifies a flow on the wire; the `FlowId`
 /// identifies it in the metrics).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FlowId(pub u64);
 
 #[cfg(test)]

@@ -11,15 +11,14 @@
 
 use scotch_sim::rate::{Admission, FifoServer};
 use scotch_sim::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Identifier of a directed link within a [`crate::Topology`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct LinkId(pub u32);
 
 /// Static parameters of a link (applied to both directions of a duplex
 /// link).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinkSpec {
     /// Bit rate in bits per second.
     pub rate_bps: f64,

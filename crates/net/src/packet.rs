@@ -10,10 +10,9 @@
 use crate::flow::{FlowId, FlowKey};
 use crate::tunnel::TunnelId;
 use scotch_sim::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// One entry of a packet's label stack.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Label {
     /// Outer label: which tunnel the packet rides.
     Tunnel(TunnelId),
@@ -22,7 +21,7 @@ pub enum Label {
 }
 
 /// What role a packet plays in its flow.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PacketKind {
     /// First packet of a flow (a TCP SYN in the paper's experiments). This
     /// is the packet that triggers the reactive Packet-In path.
@@ -34,7 +33,7 @@ pub enum PacketKind {
 /// A simulated packet.
 ///
 /// Only headers matter to Scotch, so the "payload" is just a byte count.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Packet {
     /// The 5-tuple.
     pub key: FlowKey,

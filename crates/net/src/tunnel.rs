@@ -12,11 +12,10 @@
 //! topology rather than inside the per-switch OpenFlow tables.
 
 use crate::topology::{NodeId, Topology};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Identifier of a (unidirectional) tunnel.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TunnelId(pub u32);
 
 /// A unidirectional tunnel: an ordered node path from `src()` to `dst()`.

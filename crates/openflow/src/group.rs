@@ -13,16 +13,15 @@
 
 use crate::ofmatch::Action;
 use scotch_net::FlowKey;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Group table entry identifier.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct GroupId(pub u32);
 
 /// Group semantics. Only *select* is needed by Scotch; *all* is included
 /// for completeness (it is the spec's flooding/multicast type).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum GroupType {
     /// Execute one bucket chosen by the selection policy.
     Select,
@@ -31,7 +30,7 @@ pub enum GroupType {
 }
 
 /// How a *select* group picks its bucket.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SelectionPolicy {
     /// ECMP-style: `flow_key.hash64() % live_buckets`. Per-flow sticky.
     FlowHash,
@@ -41,7 +40,7 @@ pub enum SelectionPolicy {
 }
 
 /// One action bucket.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Bucket {
     /// Actions executed when this bucket is selected (for Scotch: push the
     /// tunnel label and output toward the tunnel's first hop).

@@ -6,10 +6,9 @@
 //! priority; the ingress-labelling rules of §5.2 match on `in_port`.
 
 use scotch_net::{FlowKey, IpAddr, Label, Packet, PortId, Protocol, TunnelId};
-use serde::{Deserialize, Serialize};
 
 /// A wildcardable OpenFlow match.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct Match {
     /// Ingress port at this switch.
     pub in_port: Option<PortId>,
@@ -136,7 +135,7 @@ impl Match {
 }
 
 /// An action applied to a packet.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Action {
     /// Emit on the given local port.
     Output(PortId),
@@ -165,7 +164,7 @@ impl Action {
 }
 
 /// An OpenFlow instruction: apply actions and/or continue in a later table.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Instruction {
     /// Apply the action list immediately.
     Apply(Vec<Action>),

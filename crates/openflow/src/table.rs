@@ -13,10 +13,9 @@
 use crate::ofmatch::{Action, Instruction, Match};
 use scotch_net::{Packet, PortId};
 use scotch_sim::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Index of a flow table within a switch's pipeline.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TableId(pub u8);
 
 /// One installed rule.

@@ -1,0 +1,416 @@
+#![warn(missing_docs)]
+
+//! A dependency-free shim with the subset of the `proptest` API this
+//! workspace uses.
+//!
+//! The real `proptest` crate cannot be vendored here (the build is
+//! intentionally offline), so this crate re-implements the macro surface the
+//! tests rely on: the [`proptest!`] block macro, `prop_assert*` assertions,
+//! range / tuple / `vec` / `option` / [`any`] strategies, and
+//! [`ProptestConfig`] with a `cases` knob.
+//!
+//! Differences from upstream, by design:
+//!
+//! * Case generation is **deterministic**: case `i` of every test draws from
+//!   a generator seeded with a fixed function of `i`. Reruns are exactly
+//!   reproducible, so there is no failure-persistence file.
+//! * There is no shrinking. A failing case panics with the generated inputs
+//!   visible in the assertion message.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Configuration block accepted by `#![proptest_config(..)]`.
+///
+/// Only `cases` is honoured; construct the rest with
+/// `..ProptestConfig::default()` exactly as with the real crate.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property test.
+    pub cases: u32,
+    /// Accepted for API compatibility; the shim never shrinks.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 32,
+            max_shrink_iters: 1024,
+        }
+    }
+}
+
+/// Deterministic value source handed to [`Strategy::sample`].
+///
+/// SplitMix64: tiny, full-period, and plenty uniform for test-case
+/// generation.
+#[derive(Debug, Clone)]
+pub struct Gen {
+    state: u64,
+}
+
+impl Gen {
+    /// A generator seeded for one test case.
+    pub fn new(seed: u64) -> Self {
+        Gen { state: seed }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, n)`; `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        // Multiply-shift bound; bias is < 2^-64 per draw, irrelevant for
+        // test-case generation.
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+}
+
+/// A source of values of one type. The only operation the shim needs.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+    /// Draw one value.
+    fn sample(&self, g: &mut Gen) -> Self::Value;
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, g: &mut Gen) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + g.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, g: &mut Gen) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                if span == 0 {
+                    // Full-domain u64/i64 inclusive range.
+                    return g.next_u64() as $t;
+                }
+                (lo as i128 + g.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, g: &mut Gen) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + g.f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn sample(&self, g: &mut Gen) -> f32 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + (g.f64() as f32) * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($n:ident $i:tt),+);)*) => {$(
+        impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+            type Value = ($($n::Value,)+);
+            fn sample(&self, g: &mut Gen) -> Self::Value {
+                ($(self.$i.sample(g),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A 0, B 1);
+    (A 0, B 1, C 2);
+    (A 0, B 1, C 2, D 3);
+    (A 0, B 1, C 2, D 3, E 4);
+    (A 0, B 1, C 2, D 3, E 4, F 5);
+}
+
+/// Types with a whole-domain default strategy (the shim's `any::<T>()`).
+pub trait Arbitrary {
+    /// Draw an unconstrained value.
+    fn arbitrary(g: &mut Gen) -> Self;
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(g: &mut Gen) -> $t {
+                g.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(g: &mut Gen) -> bool {
+        g.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(g: &mut Gen) -> f64 {
+        g.f64()
+    }
+}
+
+/// Whole-domain strategy marker returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// The strategy generating any value of `T` (`any::<u8>()` etc.).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, g: &mut Gen) -> T {
+        T::arbitrary(g)
+    }
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{Gen, Strategy};
+    use std::ops::Range;
+
+    /// Strategy for a `Vec` whose length is drawn from `len`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// `vec(element, 0..256)`: a vector of `element` draws.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, g: &mut Gen) -> Vec<S::Value> {
+            let n = if self.len.start >= self.len.end {
+                self.len.start
+            } else {
+                Strategy::sample(&self.len, g)
+            };
+            (0..n).map(|_| self.element.sample(g)).collect()
+        }
+    }
+}
+
+/// Option strategies (`proptest::option::of`).
+pub mod option {
+    use super::{Gen, Strategy};
+
+    /// Strategy for `Option<S::Value>`.
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `of(inner)`: `None` a quarter of the time, `Some(draw)` otherwise
+    /// (matching upstream's default 75 % `Some` bias).
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, g: &mut Gen) -> Option<S::Value> {
+            if g.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.sample(g))
+            }
+        }
+    }
+}
+
+/// Everything a test module needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Property assertion; the shim maps it to a plain `assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Property equality assertion; maps to `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Property inequality assertion; maps to `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Discard the current case when the condition is false.
+///
+/// The shim does not redraw a replacement: it simply moves on to the next
+/// case index, so heavy filtering thins the effective case count. Must be
+/// used at the top level of a `proptest!` body (it expands to `continue` on
+/// the case loop).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+/// The `proptest!` block: zero or more `#[test]` functions whose parameters
+/// are either `name in strategy` or `name: Type` (sugar for `any::<Type>()`).
+///
+/// Each function expands to a loop over `config.cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal: expand each property function in the block.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr) $(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            for __case in 0..__config.cases as u64 {
+                let mut __gen = $crate::Gen::new(
+                    0x5eed_0000u64 ^ __case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                $crate::__proptest_bind!(__gen, $($params)*);
+                $body
+            }
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+/// Internal: bind one parameter list entry, then recurse.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($g:ident $(,)?) => {};
+    ($g:ident, $name:ident in $strategy:expr, $($rest:tt)*) => {
+        let $name = $crate::Strategy::sample(&($strategy), &mut $g);
+        $crate::__proptest_bind!($g, $($rest)*);
+    };
+    ($g:ident, $name:ident in $strategy:expr) => {
+        let $name = $crate::Strategy::sample(&($strategy), &mut $g);
+    };
+    ($g:ident, $name:ident : $ty:ty, $($rest:tt)*) => {
+        let $name: $ty = $crate::Arbitrary::arbitrary(&mut $g);
+        $crate::__proptest_bind!($g, $($rest)*);
+    };
+    ($g:ident, $name:ident : $ty:ty) => {
+        let $name: $ty = $crate::Arbitrary::arbitrary(&mut $g);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gen_is_deterministic() {
+        let mut a = Gen::new(7);
+        let mut b = Gen::new(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut g = Gen::new(1);
+        for _ in 0..1000 {
+            let x = (10u64..20).sample(&mut g);
+            assert!((10..20).contains(&x));
+            let f = (0.5f64..3.0).sample(&mut g);
+            assert!((0.5..3.0).contains(&f));
+            let i = (-5i32..5).sample(&mut g);
+            assert!((-5..5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_len_in_range() {
+        let mut g = Gen::new(2);
+        for _ in 0..200 {
+            let v = collection::vec(any::<u8>(), 3..9).sample(&mut g);
+            assert!((3..9).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn option_of_mixes_none_and_some() {
+        let mut g = Gen::new(3);
+        let draws: Vec<Option<u16>> = (0..200)
+            .map(|_| option::of(0u16..48).sample(&mut g))
+            .collect();
+        assert!(draws.iter().any(|d| d.is_none()));
+        assert!(draws.iter().any(|d| d.is_some()));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        /// The macro itself: mixed `in` and `:` parameters bind.
+        #[test]
+        fn macro_binds_parameters(a in 0u64..100, b: u8, pair in (0u16..4, 1usize..3)) {
+            prop_assert!(a < 100);
+            let _ = b;
+            prop_assert!(pair.0 < 4);
+            prop_assert!((1..3).contains(&pair.1));
+        }
+
+        /// `prop_assume!` discards cases instead of failing them.
+        #[test]
+        fn assume_discards_cases(a in 0u64..100) {
+            prop_assume!(a % 2 == 0);
+            prop_assert!(a % 2 == 0);
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Behavioural contract of the sweep runner: ordering, determinism, panic
+//! containment, metrics, and manifest stability.
+
+use scotch_runner::{Job, Json, SweepRunner};
+
+fn square_jobs(n: u64) -> Vec<Job<u64>> {
+    (0..n)
+        .map(|i| {
+            Job::new(format!("job{i}"), i, move |ctx| {
+                ctx.add_units(i);
+                ctx.kpi("square", (i * i) as f64);
+                i * i
+            })
+        })
+        .collect()
+}
+
+#[test]
+fn results_preserve_input_order() {
+    // More jobs than workers, uneven durations via busy loops, many
+    // threads: scheduling order is arbitrary but results must not be.
+    let jobs: Vec<Job<u64>> = (0..40)
+        .map(|i| {
+            Job::new(format!("job{i}"), i, move |_ctx| {
+                // Earlier jobs do more work, so they finish last per-worker.
+                let mut acc = 0u64;
+                for k in 0..(40 - i) * 1000 {
+                    acc = acc.wrapping_add(k);
+                }
+                std::hint::black_box(acc);
+                i
+            })
+        })
+        .collect();
+    let sweep = SweepRunner::new().threads(8).run("order", jobs);
+    let values = sweep.into_values();
+    assert_eq!(values, (0..40).collect::<Vec<u64>>());
+}
+
+#[test]
+fn single_thread_matches_many_threads() {
+    let a = SweepRunner::new().threads(1).run("t1", square_jobs(16));
+    let b = SweepRunner::new().threads(7).run("t7", square_jobs(16));
+    assert_eq!(a.into_values(), b.into_values());
+}
+
+#[test]
+fn panicking_job_fails_only_itself() {
+    let mut jobs = square_jobs(6);
+    jobs.insert(
+        3,
+        Job::new("boom", 99, |_ctx| -> u64 {
+            panic!("intentional test panic")
+        }),
+    );
+    let sweep = SweepRunner::new().threads(4).run("contained", jobs);
+    assert_eq!(sweep.completed.get(), 6);
+    assert_eq!(sweep.failed.get(), 1);
+    // The failed job is exactly the one that panicked, message preserved.
+    let failed = &sweep.results[3];
+    assert_eq!(failed.id, "boom");
+    let message = failed.outcome.as_ref().unwrap_err();
+    assert!(
+        message.contains("intentional test panic"),
+        "panic message lost: {message}"
+    );
+    // Every other job still delivered its value, in order.
+    let ok: Vec<u64> = sweep.values().copied().collect();
+    assert_eq!(ok, vec![0, 1, 4, 9, 16, 25]);
+}
+
+#[test]
+fn into_values_panics_on_failed_job() {
+    let jobs = vec![
+        Job::new("fine", 1, |_ctx| 1u64),
+        Job::new("bad", 2, |_ctx| -> u64 { panic!("nope") }),
+    ];
+    let sweep = SweepRunner::new().threads(2).run("strict", jobs);
+    let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || sweep.into_values()))
+        .expect_err("must propagate");
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(
+        msg.contains("bad"),
+        "failure list should name the job: {msg}"
+    );
+}
+
+#[test]
+fn normalized_manifests_are_identical_across_runs() {
+    let a = SweepRunner::new().threads(2).run("sweep", square_jobs(10));
+    let b = SweepRunner::new().threads(5).run("sweep", square_jobs(10));
+    let (ma, mb) = (a.manifest_normalized(), b.manifest_normalized());
+    assert_eq!(ma, mb);
+    assert_eq!(ma.pretty(), mb.pretty());
+}
+
+#[test]
+fn full_manifest_has_timing_normalized_does_not() {
+    let sweep = SweepRunner::new().threads(2).run("timed", square_jobs(3));
+    let full = sweep.manifest().pretty();
+    let norm = sweep.manifest_normalized().pretty();
+    assert!(full.contains("\"wall_ms\""));
+    assert!(full.contains("\"timing\""));
+    assert!(full.contains("\"jobs_per_sec\""));
+    assert!(!norm.contains("wall_ms"));
+    assert!(!norm.contains("\"timing\""));
+}
+
+#[test]
+fn manifest_records_jobs_seeds_kpis_and_counts() {
+    let sweep = SweepRunner::new().threads(3).run("kpis", square_jobs(4));
+    let doc = sweep.manifest_normalized();
+    let Json::Obj(fields) = &doc else {
+        panic!("manifest must be an object")
+    };
+    let get = |k: &str| {
+        fields
+            .iter()
+            .find(|(name, _)| name == k)
+            .map(|(_, v)| v)
+            .unwrap_or_else(|| panic!("missing field {k}"))
+    };
+    assert_eq!(get("name"), &Json::Str("kpis".into()));
+    assert_eq!(get("ok"), &Json::Num(4.0));
+    assert_eq!(get("failed"), &Json::Num(0.0));
+    let Json::Arr(jobs) = get("jobs") else {
+        panic!("jobs must be an array")
+    };
+    assert_eq!(jobs.len(), 4);
+    let rendered = doc.pretty();
+    assert!(rendered.contains("\"square\": 9"));
+    assert!(rendered.contains("\"seed\": 3"));
+}
+
+#[test]
+fn metrics_cover_every_job() {
+    let sweep = SweepRunner::new()
+        .threads(2)
+        .run("metrics", square_jobs(12));
+    assert_eq!(sweep.timing_us.count(), 12);
+    assert_eq!(sweep.total_units(), (0..12).sum::<u64>());
+    assert!(sweep.jobs_per_sec() > 0.0);
+    assert!(sweep.wall.as_nanos() > 0);
+}
+
+#[test]
+fn empty_sweep_is_fine() {
+    let sweep = SweepRunner::new().run("empty", Vec::<Job<u64>>::new());
+    assert_eq!(sweep.results.len(), 0);
+    assert_eq!(sweep.completed.get(), 0);
+    let text = sweep.manifest_normalized().pretty();
+    assert!(text.contains("\"jobs\": []"));
+}
+
+#[test]
+fn manifest_written_to_disk() {
+    let dir = std::env::temp_dir().join("scotch_runner_manifest_test");
+    let _ = std::fs::remove_dir_all(&dir);
+    let sweep = SweepRunner::new().run("disk", square_jobs(2));
+    let path = scotch_runner::manifest::write(&dir, "disk", &sweep.manifest()).unwrap();
+    let text = std::fs::read_to_string(&path).unwrap();
+    assert!(path.ends_with("disk.manifest.json"));
+    assert!(text.contains("\"schema\": \"scotch-sweep-manifest/v1\""));
+    let _ = std::fs::remove_dir_all(&dir);
+}

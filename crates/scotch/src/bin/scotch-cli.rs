@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! scotch-cli [OPTIONS]
+//! scotch-cli sweep [SWEEP OPTIONS]
 //!
 //! Topology:
 //!   --scenario <datacenter|single|multirack>   (default: datacenter)
@@ -24,7 +25,24 @@
 //!   --duration <SECS>   simulated seconds               (default: 10)
 //!   --json              machine-readable summary on stdout
 //!   --pcap <NODE> <FILE>  capture packets arriving at the named node
+//!
+//! Sweep (multi-seed batches on the shared parallel runner):
+//!   --smoke             CI preset: tiny horizons, 2 seeds, all scenarios
+//!   --scenario <NAME>   one scenario instead of all three
+//!   --seeds <N>         seeds per scenario                (default: 3)
+//!   --seed-base <N>     first seed                        (default: 1)
+//!   --duration <SECS>   simulated seconds per job         (default: 4)
+//!   --attack <RATE>     flood rate for every job          (default: 1500)
+//!   --clients <RATE>    client rate for every job         (default: 100)
+//!   --threads <N>       worker threads                    (default: cores)
+//!   --out <DIR>         manifest directory                (default: results)
+//!   --quiet             suppress per-job progress lines
 //! ```
+//!
+//! `sweep` fans each `(scenario, seed)` pair out on the work-stealing
+//! runner, prints one progress line per finished job, and writes a
+//! machine-readable run manifest (`<out>/<name>.manifest.json`) whose
+//! non-timing fields are byte-identical across reruns.
 
 use scotch::app::ControllerMode;
 use scotch::scenario::Scenario;
@@ -194,8 +212,198 @@ fn build_scenario(o: &Options) -> Scenario {
     s
 }
 
+/// Parsed `sweep` subcommand line.
+#[derive(Debug, Clone, PartialEq)]
+struct SweepOptions {
+    smoke: bool,
+    scenario: Option<String>,
+    seeds: u64,
+    seed_base: u64,
+    duration: f64,
+    attack: f64,
+    clients: f64,
+    threads: usize,
+    out: String,
+    quiet: bool,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions {
+            smoke: false,
+            scenario: None,
+            seeds: 3,
+            seed_base: 1,
+            duration: 4.0,
+            attack: 1500.0,
+            clients: 100.0,
+            threads: 0,
+            out: "results".into(),
+            quiet: false,
+        }
+    }
+}
+
+fn parse_sweep_args(args: &[String]) -> Result<SweepOptions, String> {
+    let mut o = SweepOptions::default();
+    let mut i = 0;
+    let next = |i: &mut usize| -> Result<String, String> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("missing value after {}", args[*i - 1]))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => {
+                o.smoke = true;
+                o.seeds = 2;
+                o.duration = 2.0;
+                o.attack = 1000.0;
+            }
+            "--scenario" => o.scenario = Some(next(&mut i)?),
+            "--seeds" => o.seeds = next(&mut i)?.parse().map_err(|e| format!("--seeds: {e}"))?,
+            "--seed-base" => {
+                o.seed_base = next(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--seed-base: {e}"))?
+            }
+            "--duration" => {
+                o.duration = next(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--duration: {e}"))?
+            }
+            "--attack" => {
+                o.attack = next(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--attack: {e}"))?
+            }
+            "--clients" => {
+                o.clients = next(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--clients: {e}"))?
+            }
+            "--threads" => {
+                o.threads = next(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?
+            }
+            "--out" => o.out = next(&mut i)?,
+            "--quiet" => o.quiet = true,
+            "--help" | "-h" => return Err("help".into()),
+            other => return Err(format!("unknown sweep option {other}")),
+        }
+        i += 1;
+    }
+    if o.seeds == 0 {
+        return Err("--seeds must be at least 1".into());
+    }
+    if let Some(s) = &o.scenario {
+        if !matches!(s.as_str(), "datacenter" | "single" | "multirack") {
+            return Err(format!("unknown scenario '{s}'"));
+        }
+    }
+    Ok(o)
+}
+
+/// Build the `(scenario, seed)` job grid for a sweep.
+fn sweep_jobs(o: &SweepOptions) -> Vec<scotch_runner::Job<()>> {
+    let scenarios: Vec<String> = match &o.scenario {
+        Some(s) => vec![s.clone()],
+        None => vec!["datacenter".into(), "single".into(), "multirack".into()],
+    };
+    let horizon = SimTime::from_secs_f64(o.duration);
+    let mut jobs = Vec::new();
+    for scenario in &scenarios {
+        for k in 0..o.seeds {
+            let seed = o.seed_base + k;
+            let base = Options {
+                scenario: scenario.clone(),
+                mesh: if o.smoke { 2 } else { 4 },
+                racks: 2,
+                attack: Some(o.attack),
+                clients: o.clients,
+                seed,
+                duration: o.duration,
+                ..Options::default()
+            };
+            jobs.push(scotch_runner::Job::new(
+                format!("{scenario}/s{seed}"),
+                seed,
+                move |ctx: &mut scotch_runner::JobCtx| {
+                    let report = build_scenario(&base).build(seed).run(horizon);
+                    ctx.add_units(report.events_processed);
+                    ctx.kpi("flows", report.flows.len() as f64);
+                    ctx.kpi("client_failure", report.client_failure_fraction());
+                    ctx.kpi(
+                        "client_failure_steady",
+                        report.client_failure_fraction_between(
+                            SimTime::from_secs(1),
+                            horizon.saturating_sub(SimDuration::from_secs(1)),
+                        ),
+                    );
+                    ctx.kpi("physical_admitted", report.app.physical_admitted as f64);
+                    ctx.kpi("overlay_admitted", report.app.overlay_admitted as f64);
+                    ctx.kpi("activations", report.app.activations as f64);
+                },
+            ));
+        }
+    }
+    jobs
+}
+
+fn sweep_main(args: &[String]) -> i32 {
+    let opts = match parse_sweep_args(args) {
+        Ok(o) => o,
+        Err(e) => {
+            if e != "help" {
+                eprintln!("error: {e}\n");
+            }
+            eprintln!("usage: scotch-cli sweep [--smoke] [--scenario NAME] [--seeds N] ...");
+            eprintln!("       (full flag list in the doc comment at the top of scotch-cli.rs)");
+            return if e == "help" { 0 } else { 2 };
+        }
+    };
+    let name = if opts.smoke { "sweep-smoke" } else { "sweep" };
+    let jobs = sweep_jobs(&opts);
+    eprintln!(
+        "sweep '{name}': {} job(s), {} scenario(s) x {} seed(s)",
+        jobs.len(),
+        if opts.scenario.is_some() { 1 } else { 3 },
+        opts.seeds
+    );
+    let sweep = scotch_runner::SweepRunner::new()
+        .threads(opts.threads)
+        .progress(!opts.quiet)
+        .run(name, jobs);
+    let manifest = sweep.manifest();
+    let dir = std::path::PathBuf::from(&opts.out);
+    match scotch_runner::manifest::write(&dir, name, &manifest) {
+        Ok(path) => eprintln!(
+            "{} ok, {} failed in {:.1}s ({:.1} jobs/s); manifest: {}",
+            sweep.completed.get(),
+            sweep.failed.get(),
+            sweep.wall.as_secs_f64(),
+            sweep.jobs_per_sec(),
+            path.display()
+        ),
+        Err(e) => {
+            eprintln!("error: failed to write manifest: {e}");
+            return 1;
+        }
+    }
+    if sweep.failed.get() > 0 {
+        1
+    } else {
+        0
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("sweep") {
+        std::process::exit(sweep_main(&args[1..]));
+    }
     let opts = match parse_args(&args) {
         Ok(o) => o,
         Err(e) => {
@@ -340,5 +548,46 @@ mod tests {
             };
             let _sim = build_scenario(&o).build(1);
         }
+    }
+
+    fn parse_sweep(s: &str) -> Result<SweepOptions, String> {
+        let args: Vec<String> = s.split_whitespace().map(String::from).collect();
+        parse_sweep_args(&args)
+    }
+
+    #[test]
+    fn sweep_defaults() {
+        let o = parse_sweep("").unwrap();
+        assert_eq!(o, SweepOptions::default());
+        // Default grid: 3 scenarios x 3 seeds.
+        assert_eq!(sweep_jobs(&o).len(), 9);
+    }
+
+    #[test]
+    fn sweep_smoke_presets() {
+        let o = parse_sweep("--smoke").unwrap();
+        assert!(o.smoke);
+        assert_eq!(o.seeds, 2);
+        assert_eq!(o.duration, 2.0);
+        assert_eq!(sweep_jobs(&o).len(), 6);
+    }
+
+    #[test]
+    fn sweep_scenario_and_seed_flags() {
+        let o = parse_sweep("--scenario multirack --seeds 5 --seed-base 10 --threads 2").unwrap();
+        assert_eq!(o.scenario.as_deref(), Some("multirack"));
+        assert_eq!(o.threads, 2);
+        let jobs = sweep_jobs(&o);
+        assert_eq!(jobs.len(), 5);
+        assert_eq!(jobs[0].id, "multirack/s10");
+        assert_eq!(jobs[4].id, "multirack/s14");
+    }
+
+    #[test]
+    fn sweep_rejects_bad_input() {
+        assert!(parse_sweep("--scenario ring").is_err());
+        assert!(parse_sweep("--seeds 0").is_err());
+        assert!(parse_sweep("--bogus").is_err());
+        assert!(parse_sweep("--seeds").is_err());
     }
 }

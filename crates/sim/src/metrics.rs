@@ -10,11 +10,10 @@
 //! * [`TimeSeries`] — `(t, value)` samples for plotting figure series.
 
 use crate::time::{SimDuration, SimTime};
-use serde::Serialize;
 use std::collections::VecDeque;
 
 /// A monotone event counter.
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Counter {
     value: u64,
 }
@@ -228,7 +227,7 @@ impl Histogram {
 }
 
 /// A `(time, value)` series for plotting a figure curve.
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default)]
 pub struct TimeSeries {
     points: Vec<(f64, f64)>,
 }

@@ -4,23 +4,55 @@
 //! Pareto flow sizes, spoofed addresses, ECMP tie-breaks — draws from a
 //! [`SimRng`] so a `(seed, parameters)` pair fully determines a run.
 
-use rand::distributions::{Distribution, Uniform};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
-/// A deterministic random source. Thin wrapper over [`StdRng`] with the
-/// distribution helpers the workloads need.
+/// A deterministic random source: xoshiro256++ seeded via SplitMix64, with
+/// the distribution helpers the workloads need.
+///
+/// Self-contained on purpose — the workspace builds with no external
+/// crates, and a fixed in-repo generator means a `(seed, parameters)` pair
+/// produces the same run on every toolchain, forever.
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: StdRng,
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Create from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
-        SimRng {
-            inner: StdRng::seed_from_u64(seed),
+        // Expand the seed into four non-zero state words (the all-zero
+        // state is xoshiro's single fixed point).
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for w in &mut s {
+            *w = splitmix64(&mut sm);
         }
+        if s == [0; 4] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        SimRng { s }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // xoshiro256++ (Blackman & Vigna).
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
     }
 
     /// Derive an independent child stream; used to give each workload
@@ -28,35 +60,51 @@ impl SimRng {
     /// another's draws.
     pub fn fork(&mut self, stream: u64) -> SimRng {
         // Mix the stream id into fresh material from the parent.
-        let base: u64 = self.inner.gen();
+        let base: u64 = self.next_u64();
         SimRng::new(base ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
     }
 
     /// Uniform in `[0, 1)`.
     pub fn f64(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform integer in `[lo, hi)`. Panics if `lo >= hi`.
     pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "empty range");
-        Uniform::new(lo, hi).sample(&mut self.inner)
+        lo + self.below(hi - lo)
+    }
+
+    /// Uniform integer in `[0, n)` without modulo bias (rejection sampling).
+    fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        if n.is_power_of_two() {
+            return self.next_u64() & (n - 1);
+        }
+        // Reject draws from the biased tail of the 64-bit range.
+        let zone = u64::MAX - (u64::MAX % n);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % n;
+            }
+        }
     }
 
     /// Uniform integer in `[0, n)`. Panics if `n == 0`.
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "empty choice set");
-        self.inner.gen_range(0..n)
+        self.below(n as u64) as usize
     }
 
     /// Uniform `u32` over the full range (used for spoofed IPv4 addresses).
     pub fn u32(&mut self) -> u32 {
-        self.inner.gen()
+        (self.next_u64() >> 32) as u32
     }
 
     /// Uniform `u64` over the full range.
     pub fn u64(&mut self) -> u64 {
-        self.inner.gen()
+        self.next_u64()
     }
 
     /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
@@ -66,7 +114,7 @@ impl SimRng {
         } else if p >= 1.0 {
             true
         } else {
-            self.inner.gen::<f64>() < p
+            self.f64() < p
         }
     }
 
@@ -75,7 +123,7 @@ impl SimRng {
     pub fn exp(&mut self, mean: f64) -> f64 {
         assert!(mean > 0.0 && mean.is_finite(), "invalid exponential mean");
         // Inverse CDF; `1 - u` avoids ln(0).
-        let u: f64 = self.inner.gen();
+        let u: f64 = self.f64();
         -mean * (1.0 - u).ln()
     }
 
@@ -87,7 +135,7 @@ impl SimRng {
     /// consumed by a small fraction of large flows").
     pub fn bounded_pareto(&mut self, lo: f64, hi: f64, alpha: f64) -> f64 {
         assert!(lo > 0.0 && hi > lo && alpha > 0.0, "invalid Pareto params");
-        let u: f64 = self.inner.gen();
+        let u: f64 = self.f64();
         let la = lo.powf(alpha);
         let ha = hi.powf(alpha);
         // Inverse CDF of the bounded Pareto distribution.
@@ -102,24 +150,9 @@ impl SimRng {
     /// Fisher–Yates shuffle.
     pub fn shuffle<T>(&mut self, items: &mut [T]) {
         for i in (1..items.len()).rev() {
-            let j = self.inner.gen_range(0..=i);
+            let j = self.below(i as u64 + 1) as usize;
             items.swap(i, j);
         }
-    }
-}
-
-impl rand::RngCore for SimRng {
-    fn next_u32(&mut self) -> u32 {
-        rand::RngCore::next_u32(&mut self.inner)
-    }
-    fn next_u64(&mut self) -> u64 {
-        rand::RngCore::next_u64(&mut self.inner)
-    }
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        rand::RngCore::fill_bytes(&mut self.inner, dest)
-    }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        rand::RngCore::try_fill_bytes(&mut self.inner, dest)
     }
 }
 

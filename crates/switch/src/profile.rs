@@ -14,10 +14,9 @@
 //!   ports 1 Gbps.
 
 use scotch_sim::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// Static capacities of a switch model.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SwitchProfile {
     /// Human-readable device name.
     pub name: String,
