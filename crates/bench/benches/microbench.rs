@@ -89,7 +89,11 @@ fn bench_group_select(filter: &Option<String>) {
     let mut i = 0u32;
     bench(filter, "group_select_hash_8_buckets", || {
         i = i.wrapping_add(1);
-        table.select(scotch_openflow::GroupId(1), black_box(&key(i)))
+        // `select` returns a borrow of the chosen bucket's actions; reduce
+        // to an owned value so the closure result can escape.
+        table
+            .select(scotch_openflow::GroupId(1), black_box(&key(i)))
+            .map(|acts| acts.len())
     });
 }
 

@@ -1,7 +1,7 @@
 //! The controller's global view of host placement.
 
 use scotch_net::{IpAddr, NodeId, PortId, Topology};
-use std::collections::HashMap;
+use scotch_sim::FxHashMap;
 
 /// Host attachment: which node a host is, and where it plugs in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -17,8 +17,8 @@ pub struct Attachment {
 /// IP → host placement directory.
 #[derive(Debug, Clone, Default)]
 pub struct AddressBook {
-    by_ip: HashMap<IpAddr, Attachment>,
-    by_host: HashMap<NodeId, IpAddr>,
+    by_ip: FxHashMap<IpAddr, Attachment>,
+    by_host: FxHashMap<NodeId, IpAddr>,
 }
 
 impl AddressBook {

@@ -147,10 +147,7 @@ impl BaselineController {
                 if let Some(out_port) = topo.port_towards(from_switch, *next) {
                     commands.push(Command::new(
                         from_switch,
-                        ControllerToSwitch::PacketOut {
-                            packet: packet.clone(),
-                            out_port,
-                        },
+                        ControllerToSwitch::PacketOut { packet, out_port },
                     ));
                 }
             }

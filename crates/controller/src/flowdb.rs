@@ -5,8 +5,8 @@
 //! used for large flow migration."
 
 use scotch_net::{FlowKey, NodeId, PortId};
+use scotch_sim::FxHashMap;
 use scotch_sim::SimTime;
-use std::collections::HashMap;
 
 /// Where a flow currently runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,7 +42,7 @@ pub struct FlowInfo {
 /// The database.
 #[derive(Debug, Clone, Default)]
 pub struct FlowInfoDatabase {
-    flows: HashMap<FlowKey, FlowInfo>,
+    flows: FxHashMap<FlowKey, FlowInfo>,
 }
 
 impl FlowInfoDatabase {

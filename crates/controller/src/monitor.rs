@@ -12,14 +12,14 @@
 
 use scotch_net::NodeId;
 use scotch_sim::metrics::RateMeter;
+use scotch_sim::FxHashMap;
 use scotch_sim::{SimDuration, SimTime};
-use std::collections::HashMap;
 
 /// Per-switch Packet-In rate monitoring.
 #[derive(Debug, Clone)]
 pub struct PacketInMonitor {
     window: SimDuration,
-    meters: HashMap<NodeId, RateMeter>,
+    meters: FxHashMap<NodeId, RateMeter>,
 }
 
 impl PacketInMonitor {
@@ -28,7 +28,7 @@ impl PacketInMonitor {
     pub fn new(window: SimDuration) -> Self {
         PacketInMonitor {
             window,
-            meters: HashMap::new(),
+            meters: FxHashMap::default(),
         }
     }
 
@@ -62,7 +62,7 @@ pub struct HeartbeatTracker {
     pub period: SimDuration,
     /// Declared dead after this many silent periods.
     pub miss_limit: u32,
-    last_reply: HashMap<NodeId, SimTime>,
+    last_reply: FxHashMap<NodeId, SimTime>,
     registered: Vec<NodeId>,
     next_nonce: u64,
 }
@@ -75,7 +75,7 @@ impl HeartbeatTracker {
         HeartbeatTracker {
             period,
             miss_limit,
-            last_reply: HashMap::new(),
+            last_reply: FxHashMap::default(),
             registered: Vec::new(),
             next_nonce: 0,
         }

@@ -14,14 +14,16 @@
 //! involvement, exactly the property Scotch exploits ("when the new flows
 //! are tunneled to vSwitches there is no additional load on the OFA").
 
+pub mod dense;
 pub mod flow;
 pub mod link;
 pub mod packet;
 pub mod topology;
 pub mod tunnel;
 
+pub use dense::NodeMap;
 pub use flow::{FlowId, FlowKey, IpAddr, Protocol};
 pub use link::{LinkId, LinkSpec, TxResult};
-pub use packet::{Label, Packet, PacketKind};
+pub use packet::{Label, LabelStack, Packet, PacketKind};
 pub use topology::{NodeId, NodeKind, PortId, Topology};
 pub use tunnel::{Tunnel, TunnelId, TunnelTable};

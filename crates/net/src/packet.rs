@@ -30,10 +30,73 @@ pub enum PacketKind {
     Data,
 }
 
+/// A packet's label stack, inline and fixed-capacity.
+///
+/// Scotch needs at most two labels (outer tunnel + inner ingress port,
+/// §5.2), so the stack is two slots stored by value: pushing a label never
+/// heap-allocates and [`Packet`] stays `Copy`. The top of the stack is the
+/// most recently pushed label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct LabelStack {
+    slots: [Option<Label>; 2],
+}
+
+impl LabelStack {
+    /// An empty stack.
+    pub const fn new() -> Self {
+        LabelStack {
+            slots: [None, None],
+        }
+    }
+
+    /// Push a label. Panics beyond two labels: the protocol never nests
+    /// deeper, so a third push is a routing bug, not a resource limit.
+    pub fn push(&mut self, label: Label) {
+        if self.slots[0].is_none() {
+            self.slots[0] = Some(label);
+        } else if self.slots[1].is_none() {
+            self.slots[1] = Some(label);
+        } else {
+            panic!("label stack overflow: Scotch pushes at most 2 labels (§5.2)");
+        }
+    }
+
+    /// Pop the top label.
+    pub fn pop(&mut self) -> Option<Label> {
+        if let Some(l) = self.slots[1].take() {
+            return Some(l);
+        }
+        self.slots[0].take()
+    }
+
+    /// The top label without popping.
+    pub fn top(&self) -> Option<Label> {
+        self.slots[1].or(self.slots[0])
+    }
+
+    /// Number of labels on the stack.
+    pub fn len(&self) -> usize {
+        self.slots[0].is_some() as usize + self.slots[1].is_some() as usize
+    }
+
+    /// True when no labels are present.
+    pub fn is_empty(&self) -> bool {
+        self.slots[0].is_none()
+    }
+
+    /// Labels bottom-to-top (reversible; wire encoding walks top-down).
+    pub fn iter(&self) -> impl DoubleEndedIterator<Item = Label> {
+        self.slots.into_iter().flatten()
+    }
+}
+
 /// A simulated packet.
 ///
-/// Only headers matter to Scotch, so the "payload" is just a byte count.
-#[derive(Debug, Clone, PartialEq)]
+/// Only headers matter to Scotch, so the "payload" is just a byte count and
+/// the whole packet is a small `Copy` value — forwarding it between
+/// simulated switches copies a few machine words instead of cloning heap
+/// state.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Packet {
     /// The 5-tuple.
     pub key: FlowKey,
@@ -47,8 +110,8 @@ pub struct Packet {
     pub born_at: SimTime,
     /// Sequence number within the flow, 0-based.
     pub seq: u32,
-    /// MPLS-style label stack; last element is the top of stack.
-    pub labels: Vec<Label>,
+    /// MPLS-style label stack (inline; top is the most recent push).
+    pub labels: LabelStack,
     /// Marked true by generators for attack traffic, so metrics can
     /// separate legitimate from malicious flows. Invisible to switches and
     /// controller logic (no cheating: forwarding never reads it).
@@ -69,7 +132,7 @@ impl Packet {
             size: 64,
             born_at,
             seq: 0,
-            labels: Vec::new(),
+            labels: LabelStack::new(),
             is_attack: false,
         }
     }
@@ -83,7 +146,7 @@ impl Packet {
             size,
             born_at,
             seq,
-            labels: Vec::new(),
+            labels: LabelStack::new(),
             is_attack: false,
         }
     }
@@ -117,7 +180,7 @@ impl Packet {
 
     /// Top of the label stack without popping.
     pub fn top_label(&self) -> Option<Label> {
-        self.labels.last().copied()
+        self.labels.top()
     }
 
     /// True if the packet currently rides a tunnel (outer label present).

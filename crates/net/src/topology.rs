@@ -186,13 +186,18 @@ impl Topology {
 
     /// All connected ports of a node, in port order.
     pub fn ports(&self, node: NodeId) -> Vec<PortId> {
+        self.port_iter(node).collect()
+    }
+
+    /// Connected ports of a node, in port order, without allocating (the
+    /// per-packet emit path needs only the first port).
+    pub fn port_iter(&self, node: NodeId) -> impl Iterator<Item = PortId> + '_ {
         self.nodes[node.0 as usize]
             .ports
             .iter()
             .enumerate()
             .filter(|(_, l)| l.is_some())
             .map(|(i, _)| PortId(i as u16))
-            .collect()
     }
 
     /// Direct neighbors of a node.

@@ -13,7 +13,7 @@
 
 use crate::ofmatch::Action;
 use scotch_net::FlowKey;
-use std::collections::HashMap;
+use scotch_sim::hash::FxHashMap;
 
 /// Group table entry identifier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -85,31 +85,31 @@ impl GroupEntry {
         }
     }
 
-    /// Indices of live buckets.
-    fn live(&self) -> Vec<usize> {
-        self.buckets
-            .iter()
-            .enumerate()
-            .filter(|(_, b)| b.alive)
-            .map(|(i, _)| i)
-            .collect()
-    }
-
     /// Select a bucket for `key` and return its actions. `None` if every
     /// bucket is dead.
     pub fn select_bucket(&mut self, key: &FlowKey) -> Option<&[Action]> {
-        let live = self.live();
-        if live.is_empty() {
+        // Live buckets are selected by rank without materializing an index
+        // vector: bucket counts are tiny and this runs once per packet.
+        let live_count = self.buckets.iter().filter(|b| b.alive).count();
+        if live_count == 0 {
             return None;
         }
-        let idx = match self.policy {
-            SelectionPolicy::FlowHash => live[(key.hash64() % live.len() as u64) as usize],
+        let nth = match self.policy {
+            SelectionPolicy::FlowHash => (key.hash64() % live_count as u64) as usize,
             SelectionPolicy::RoundRobin => {
-                let i = live[self.rr_cursor % live.len()];
+                let i = self.rr_cursor % live_count;
                 self.rr_cursor = self.rr_cursor.wrapping_add(1);
                 i
             }
         };
+        let idx = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.alive)
+            .nth(nth)
+            .map(|(i, _)| i)
+            .expect("nth < live_count");
         self.buckets[idx].packet_count += 1;
         Some(&self.buckets[idx].actions)
     }
@@ -118,7 +118,7 @@ impl GroupEntry {
 /// The switch's group table.
 #[derive(Debug, Clone, Default)]
 pub struct GroupTable {
-    groups: HashMap<GroupId, GroupEntry>,
+    groups: FxHashMap<GroupId, GroupEntry>,
 }
 
 impl GroupTable {
@@ -148,10 +148,11 @@ impl GroupTable {
     }
 
     /// Run a packet's flow key through group `id`; returns the chosen
-    /// bucket's actions.
-    pub fn select(&mut self, id: GroupId, key: &FlowKey) -> Option<Vec<Action>> {
+    /// bucket's actions, borrowed (the hot path copies them into a caller
+    /// scratch buffer instead of allocating per packet).
+    pub fn select(&mut self, id: GroupId, key: &FlowKey) -> Option<&[Action]> {
         let entry = self.groups.get_mut(&id)?;
-        entry.select_bucket(key).map(|a| a.to_vec())
+        entry.select_bucket(key)
     }
 
     /// Number of installed groups.
@@ -264,7 +265,7 @@ mod tests {
             GroupEntry::select(SelectionPolicy::FlowHash, buckets(3)),
         );
         let k = key(9);
-        let before = t.select(GroupId(7), &k).unwrap();
+        let before = t.select(GroupId(7), &k).unwrap().to_vec();
         // Find which port that was and kill it.
         let Action::Output(port) = before[0] else {
             panic!()

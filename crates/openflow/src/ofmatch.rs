@@ -198,7 +198,7 @@ mod tests {
         let p = pkt();
         let m = Match::exact(p.key);
         assert!(m.matches(&p, PortId(0)));
-        let mut other = p.clone();
+        let mut other = p;
         other.key.sport = 1001;
         assert!(!m.matches(&other, PortId(0)));
         assert_eq!(m.specificity(), 5);
@@ -208,10 +208,10 @@ mod tests {
     fn src_dst_ignores_ports() {
         let p = pkt();
         let m = Match::src_dst(p.key.src, p.key.dst);
-        let mut other = p.clone();
+        let mut other = p;
         other.key.sport = 9999;
         assert!(m.matches(&other, PortId(3)));
-        let mut wrong_dst = p.clone();
+        let mut wrong_dst = p;
         wrong_dst.key.dst = IpAddr::new(9, 9, 9, 9);
         assert!(!m.matches(&wrong_dst, PortId(3)));
     }

@@ -96,6 +96,20 @@ impl FlowEntry {
         })
     }
 
+    /// Earliest time this entry *could* expire given its current state
+    /// (`None` = no timeouts). A later hit pushes the idle part forward, so
+    /// this is a lower bound, never an exact prediction.
+    fn deadline(&self) -> Option<SimTime> {
+        let hard = self.hard_timeout.map(|h| self.installed_at + h);
+        let idle = self.idle_timeout.map(|i| self.last_hit + i);
+        match (hard, idle) {
+            (Some(h), Some(i)) => Some(h.min(i)),
+            (Some(h), None) => Some(h),
+            (None, Some(i)) => Some(i),
+            (None, None) => None,
+        }
+    }
+
     fn expired(&self, now: SimTime) -> bool {
         if let Some(h) = self.hard_timeout {
             if now.duration_since(self.installed_at) >= h {
@@ -131,16 +145,25 @@ pub struct FlowTable {
     slots: Vec<Option<FlowEntry>>,
     /// Install order per slot, parallel to `slots`.
     seqs: Vec<u64>,
+    /// Position of each slot within its index bucket, parallel to `slots`
+    /// (meaningful only while the slot is occupied). Lets `unlink` use
+    /// `swap_remove` instead of an O(bucket) `retain`.
+    pos: Vec<usize>,
     /// Free slot indices for reuse.
     free: Vec<usize>,
     /// Slots of entries whose matcher specifies both `src` and `dst`.
-    by_src_dst: std::collections::HashMap<(scotch_net::IpAddr, scotch_net::IpAddr), Vec<usize>>,
+    by_src_dst: scotch_sim::FxHashMap<(scotch_net::IpAddr, scotch_net::IpAddr), Vec<usize>>,
     /// Slots of all other (wildcard-ish) entries.
     generic: Vec<usize>,
     len: usize,
     capacity: usize,
     /// Monotone counter for deterministic tie-breaks.
     install_seq: u64,
+    /// Conservative lower bound on the earliest time any entry can expire
+    /// (`None` = nothing has a timeout). Idle-timeout hits only push real
+    /// deadlines later, so the bound stays valid without per-hit updates;
+    /// `expire` before the bound is a constant-time no-op.
+    next_deadline: Option<SimTime>,
 }
 
 fn index_key(m: &Match) -> Option<(scotch_net::IpAddr, scotch_net::IpAddr)> {
@@ -157,12 +180,14 @@ impl FlowTable {
         FlowTable {
             slots: Vec::new(),
             seqs: Vec::new(),
+            pos: Vec::new(),
             free: Vec::new(),
-            by_src_dst: std::collections::HashMap::new(),
+            by_src_dst: scotch_sim::FxHashMap::default(),
             generic: Vec::new(),
             len: 0,
             capacity,
             install_seq: 0,
+            next_deadline: None,
         }
     }
 
@@ -188,17 +213,40 @@ impl FlowTable {
         }
     }
 
+    /// Append `slot` to its index bucket, recording its position.
+    fn link(&mut self, slot: usize, matcher: &Match) {
+        let bucket = match index_key(matcher) {
+            Some(k) => self.by_src_dst.entry(k).or_default(),
+            None => &mut self.generic,
+        };
+        self.pos[slot] = bucket.len();
+        bucket.push(slot);
+    }
+
+    /// Remove `slot` from its index bucket in O(1) via `swap_remove` at the
+    /// tracked position, fixing up the moved slot's position.
     fn unlink(&mut self, slot: usize, matcher: &Match) {
+        let p = self.pos[slot];
         match index_key(matcher) {
             Some(k) => {
                 if let Some(v) = self.by_src_dst.get_mut(&k) {
-                    v.retain(|&s| s != slot);
+                    debug_assert_eq!(v.get(p), Some(&slot));
+                    v.swap_remove(p);
+                    if let Some(&moved) = v.get(p) {
+                        self.pos[moved] = p;
+                    }
                     if v.is_empty() {
                         self.by_src_dst.remove(&k);
                     }
                 }
             }
-            None => self.generic.retain(|&s| s != slot),
+            None => {
+                debug_assert_eq!(self.generic.get(p), Some(&slot));
+                self.generic.swap_remove(p);
+                if let Some(&moved) = self.generic.get(p) {
+                    self.pos[moved] = p;
+                }
+            }
         }
     }
 
@@ -221,12 +269,14 @@ impl FlowTable {
             e.matcher == entry.matcher && e.priority == entry.priority
         });
         if let Some(slot) = existing {
+            self.note_deadline(entry.deadline());
             self.slots[slot] = Some(entry);
             return Ok(());
         }
         if self.len >= self.capacity {
             return Err(InsertError::TableFull);
         }
+        self.note_deadline(entry.deadline());
         let slot = match self.free.pop() {
             Some(s) => {
                 self.slots[s] = Some(entry);
@@ -236,52 +286,62 @@ impl FlowTable {
             None => {
                 self.slots.push(Some(entry));
                 self.seqs.push(self.install_seq);
+                self.pos.push(0);
                 self.slots.len() - 1
             }
         };
         self.install_seq += 1;
         self.len += 1;
         let matcher = self.slots[slot].as_ref().unwrap().matcher;
-        match index_key(&matcher) {
-            Some(k) => self.by_src_dst.entry(k).or_default().push(slot),
-            None => self.generic.push(slot),
-        }
+        self.link(slot, &matcher);
         Ok(())
+    }
+
+    /// Lower `next_deadline` to cover a (possibly `None`) entry deadline.
+    fn note_deadline(&mut self, d: Option<SimTime>) {
+        if let Some(d) = d {
+            self.next_deadline = Some(match self.next_deadline {
+                Some(cur) => cur.min(d),
+                None => d,
+            });
+        }
     }
 
     /// Remove all entries with the given cookie; returns how many were
     /// removed.
     pub fn remove_by_cookie(&mut self, cookie: u64) -> usize {
-        let victims: Vec<usize> = self
-            .slots
-            .iter()
-            .enumerate()
-            .filter(|(_, e)| e.as_ref().map(|e| e.cookie == cookie).unwrap_or(false))
-            .map(|(i, _)| i)
-            .collect();
-        for slot in &victims {
-            self.take_slot(*slot);
+        let mut removed = 0;
+        for slot in 0..self.slots.len() {
+            if self.slots[slot]
+                .as_ref()
+                .is_some_and(|e| e.cookie == cookie)
+            {
+                self.take_slot(slot);
+                removed += 1;
+            }
         }
-        victims.len()
+        removed
     }
 
     /// Remove entries whose match equals `matcher` exactly; returns count.
     pub fn remove_exact(&mut self, matcher: &Match) -> usize {
-        let victims: Vec<usize> = self
-            .bucket(matcher)
-            .iter()
-            .copied()
-            .filter(|&s| {
-                self.slots[s]
-                    .as_ref()
-                    .map(|e| &e.matcher == matcher)
-                    .unwrap_or(false)
-            })
-            .collect();
-        for slot in &victims {
-            self.take_slot(*slot);
+        // Walk the matcher's bucket in place: on removal, `unlink`'s
+        // `swap_remove` pulls a new candidate into position `i`, so only
+        // advance on a non-match.
+        let mut removed = 0;
+        let mut i = 0;
+        while let Some(&slot) = self.bucket(matcher).get(i) {
+            if self.slots[slot]
+                .as_ref()
+                .is_some_and(|e| &e.matcher == matcher)
+            {
+                self.take_slot(slot);
+                removed += 1;
+            } else {
+                i += 1;
+            }
         }
-        victims.len()
+        removed
     }
 
     /// Remove every entry (non-strict delete with an empty match);
@@ -290,24 +350,38 @@ impl FlowTable {
         let n = self.len;
         self.slots.clear();
         self.seqs.clear();
+        self.pos.clear();
         self.free.clear();
         self.by_src_dst.clear();
         self.generic.clear();
         self.len = 0;
+        self.next_deadline = None;
         n
     }
 
     /// Drop expired entries; returns the removed entries (so the switch can
     /// emit FlowRemoved messages).
     pub fn expire(&mut self, now: SimTime) -> Vec<FlowEntry> {
-        let victims: Vec<usize> = self
-            .slots
-            .iter()
-            .enumerate()
-            .filter(|(_, e)| e.as_ref().map(|e| e.expired(now)).unwrap_or(false))
-            .map(|(i, _)| i)
-            .collect();
-        victims.into_iter().map(|s| self.take_slot(s)).collect()
+        // Nothing can have expired before the tracked bound: the periodic
+        // sweep is then a constant-time no-op on idle tables.
+        match self.next_deadline {
+            Some(d) if now >= d => {}
+            _ => return Vec::new(),
+        }
+        let mut removed = Vec::new();
+        let mut next: Option<SimTime> = None;
+        for slot in 0..self.slots.len() {
+            let Some(e) = self.slots[slot].as_ref() else {
+                continue;
+            };
+            if e.expired(now) {
+                removed.push(self.take_slot(slot));
+            } else if let Some(d) = e.deadline() {
+                next = Some(next.map_or(d, |n| n.min(d)));
+            }
+        }
+        self.next_deadline = next;
+        removed
     }
 
     /// Best-match lookup without mutating counters.
@@ -432,6 +506,24 @@ impl Pipeline {
     /// gathered.
     pub fn process(&mut self, now: SimTime, packet: &Packet, in_port: PortId) -> PipelineVerdict {
         let mut actions = Vec::new();
+        if self.process_into(now, packet, in_port, &mut actions) {
+            PipelineVerdict::Actions(actions)
+        } else {
+            PipelineVerdict::Miss
+        }
+    }
+
+    /// Allocation-free variant of [`Pipeline::process`]: accumulates the
+    /// applied actions into a caller-owned (typically reused) buffer, which
+    /// is cleared first. Returns whether any table matched.
+    pub fn process_into(
+        &mut self,
+        now: SimTime,
+        packet: &Packet,
+        in_port: PortId,
+        actions: &mut Vec<Action>,
+    ) -> bool {
+        actions.clear();
         let mut table = 0usize;
         let mut matched_any = false;
         while let Some(entry) = self.tables[table].match_packet(now, packet, in_port) {
@@ -452,11 +544,7 @@ impl Pipeline {
                 _ => break,
             }
         }
-        if matched_any {
-            PipelineVerdict::Actions(actions)
-        } else {
-            PipelineVerdict::Miss
-        }
+        matched_any
     }
 }
 

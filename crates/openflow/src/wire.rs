@@ -32,7 +32,9 @@ use crate::messages::{
 };
 use crate::ofmatch::{Action, Instruction, Match};
 use crate::table::{FlowEntry, TableId};
-use scotch_net::{FlowId, FlowKey, IpAddr, Label, Packet, PacketKind, PortId, Protocol, TunnelId};
+use scotch_net::{
+    FlowId, FlowKey, IpAddr, Label, LabelStack, Packet, PacketKind, PortId, Protocol, TunnelId,
+};
 use scotch_sim::{SimDuration, SimTime};
 
 /// OpenFlow protocol version emitted/accepted.
@@ -558,7 +560,7 @@ pub fn encode_packet(p: &Packet) -> Result<Vec<u8>, WireError> {
         w.u16(ETH_TYPE_MPLS);
         // Top of stack first on the wire.
         for (i, l) in p.labels.iter().rev().enumerate() {
-            let v = label_to_mpls(*l)?;
+            let v = label_to_mpls(l)?;
             let bottom = (i == p.labels.len() - 1) as u32;
             w.u32((v << 12) | (bottom << 8) | 64);
         }
@@ -658,7 +660,7 @@ pub fn decode_packet(buf: &[u8], wire_size: u32) -> Result<Packet, WireError> {
         size: wire_size,
         born_at: SimTime::ZERO,
         seq,
-        labels: Vec::new(),
+        labels: LabelStack::new(),
         is_attack: false,
     };
     // Stack stores bottom-first.
@@ -1398,7 +1400,7 @@ mod tests {
         let mut p = Packet::flow_start(key(), FlowId(5), SimTime::from_secs(1));
         p.push_label(Label::IngressPort(4));
         let msg = OfMessage::FromSwitch(SwitchToController::PacketIn {
-            packet: p.clone(),
+            packet: p,
             in_port: PortId(9),
             reason: PacketInReason::NoMatch,
             via_tunnel: Some(TunnelId(77)),
@@ -1431,7 +1433,7 @@ mod tests {
     fn packet_out_roundtrip() {
         let p = Packet::data(key(), FlowId(1), SimTime::ZERO, 17, 200);
         match roundtrip(OfMessage::ToSwitch(ControllerToSwitch::PacketOut {
-            packet: p.clone(),
+            packet: p,
             out_port: PortId(6),
         })) {
             OfMessage::ToSwitch(ControllerToSwitch::PacketOut { packet, out_port }) => {
@@ -1618,7 +1620,8 @@ mod tests {
             src: u32, dst: u32, sport: u16, dport: u16,
             seq in 0u32..1_000_000,
             size in 64u32..9000,
-            n_labels in 0usize..4,
+            // The inline stack holds at most 2 labels (§5.2).
+            n_labels in 0usize..3,
         ) {
             let k = FlowKey::tcp(IpAddr(src), sport, IpAddr(dst), dport);
             let mut p = Packet::data(k, FlowId(1), SimTime::ZERO, seq, size);

@@ -32,8 +32,8 @@ use scotch_openflow::{
     Action, Bucket, ControllerToSwitch, FlowEntry, FlowModCommand, GroupEntry, GroupId,
     Instruction, Match, SwitchToController, TableId,
 };
+use scotch_sim::{FxHashMap, FxHashSet};
 use scotch_sim::{SimDuration, SimTime};
-use std::collections::HashMap;
 
 /// Priority of the pinned keep-on-overlay rules installed during
 /// withdrawal (§5.5) — below red physical rules, above the port-labelling
@@ -138,14 +138,16 @@ pub struct ScotchApp {
     pub heartbeats: HeartbeatTracker,
     /// The overlay fabric.
     pub overlay: OverlayManager,
-    switches: HashMap<NodeId, SwitchCtl>,
+    switches: FxHashMap<NodeId, SwitchCtl>,
     /// Destination-indexed middlebox policies.
-    policies: HashMap<IpAddr, PolicyChain>,
+    policies: FxHashMap<IpAddr, PolicyChain>,
     detector: ElephantDetector,
-    cookie_keys: HashMap<u64, FlowKey>,
-    cookie_seq: u64,
+    /// Flow key per issued cookie. Cookies are handed out sequentially
+    /// from 1, so cookie `c` lives at index `c - 1` — a dense `Vec` instead
+    /// of a map that grows by one entry per installed flow.
+    cookie_keys: Vec<FlowKey>,
     /// Flows sitting in ingress queues (for duplicate-Packet-In detection).
-    pending: std::collections::HashSet<FlowKey>,
+    pending: FxHashSet<FlowKey>,
     stats: AppStats,
 }
 
@@ -172,11 +174,10 @@ impl ScotchApp {
             book,
             flowdb: FlowInfoDatabase::new(),
             overlay,
-            switches: HashMap::new(),
-            policies: HashMap::new(),
-            cookie_keys: HashMap::new(),
-            cookie_seq: 1,
-            pending: std::collections::HashSet::new(),
+            switches: FxHashMap::default(),
+            policies: FxHashMap::default(),
+            cookie_keys: Vec::new(),
+            pending: FxHashSet::default(),
             stats: AppStats::default(),
         }
     }
@@ -305,10 +306,13 @@ impl ScotchApp {
     }
 
     fn next_cookie(&mut self, key: FlowKey) -> u64 {
-        let c = self.cookie_seq;
-        self.cookie_seq += 1;
-        self.cookie_keys.insert(c, key);
-        c
+        self.cookie_keys.push(key);
+        self.cookie_keys.len() as u64
+    }
+
+    fn cookie_key(&self, cookie: u64) -> Option<FlowKey> {
+        let idx = cookie.checked_sub(1)?;
+        self.cookie_keys.get(idx as usize).copied()
     }
 
     /// The policy chain's middlebox waypoints for a destination.
@@ -355,7 +359,7 @@ impl ScotchApp {
                 Vec::new()
             }
             SwitchToController::FlowRemoved { cookie, .. } => {
-                if let Some(key) = self.cookie_keys.get(&cookie).copied() {
+                if let Some(key) = self.cookie_key(cookie) {
                     if let Some(info) = self.flowdb.get(&key) {
                         let ends_flow = match info.path {
                             FlowPath::Physical => info.first_hop == from,
@@ -483,7 +487,7 @@ impl ScotchApp {
                     return vec![Command::new(
                         chain.upstream,
                         ControllerToSwitch::PacketOut {
-                            packet: packet.clone(),
+                            packet: *packet,
                             out_port: mb_in,
                         },
                     )];
@@ -496,7 +500,7 @@ impl ScotchApp {
         vec![Command::new(
             att.switch,
             ControllerToSwitch::PacketOut {
-                packet: packet.clone(),
+                packet: *packet,
                 out_port: att.switch_port,
             },
         )]
@@ -590,7 +594,7 @@ impl ScotchApp {
             out.push(Command::new(
                 dst_att.switch,
                 ControllerToSwitch::PacketOut {
-                    packet: pf.packet.clone(),
+                    packet: pf.packet,
                     out_port: dst_att.switch_port,
                 },
             ));
@@ -600,7 +604,7 @@ impl ScotchApp {
                     out.push(Command::new(
                         pf.origin,
                         ControllerToSwitch::PacketOut {
-                            packet: pf.packet.clone(),
+                            packet: pf.packet,
                             out_port,
                         },
                     ));
@@ -732,7 +736,7 @@ impl ScotchApp {
 
         // Launch the buffered first packet along the first segment.
         if let Some((first_node, first_tunnel)) = segments.first() {
-            let mut pkt = pf.packet.clone();
+            let mut pkt = pf.packet;
             let out_port = match first_tunnel {
                 Some(t) => {
                     pkt.push_label(scotch_net::Label::Tunnel(*t));
@@ -1254,9 +1258,10 @@ impl ScotchApp {
             return Vec::new();
         }
         let cookie_keys = &self.cookie_keys;
-        let (elephants, active) = self
-            .detector
-            .ingest(now, from, stats, |st| cookie_keys.get(&st.cookie).copied());
+        let (elephants, active) = self.detector.ingest(now, from, stats, |st| {
+            let idx = st.cookie.checked_sub(1)?;
+            cookie_keys.get(idx as usize).copied()
+        });
         for key in active {
             self.flowdb.touch(&key, now);
         }

@@ -3,6 +3,7 @@
 //! ```text
 //! scotch-cli [OPTIONS]
 //! scotch-cli sweep [SWEEP OPTIONS]
+//! scotch-cli bench hotpath [BENCH OPTIONS]
 //!
 //! Topology:
 //!   --scenario <datacenter|single|multirack>   (default: datacenter)
@@ -38,6 +39,16 @@
 //!   --out <DIR>         manifest directory                (default: results)
 //!   --quiet             suppress per-job progress lines
 //! ```
+//!
+//! Bench (single-process hot-path throughput on a fixed scenario set):
+//!   --out <FILE>        where to write the fresh numbers
+//!                       (default: BENCH_hotpath.fresh.json)
+//!   --baseline <FILE>   committed BENCH_hotpath.json to diff against
+//!                       (prints a delta; warns, never fails, on regression)
+//!   --label <NAME>      run label recorded in the JSON      (default: dev)
+//!   --iters <N>         iterations per scenario, best wall time wins
+//!                       (default: 3)
+//!   --quiet             suppress per-scenario progress lines
 //!
 //! `sweep` fans each `(scenario, seed)` pair out on the work-stealing
 //! runner, prints one progress line per finished job, and writes a
@@ -399,10 +410,267 @@ fn sweep_main(args: &[String]) -> i32 {
     }
 }
 
+/// Parsed `bench hotpath` subcommand line.
+#[derive(Debug, Clone, PartialEq)]
+struct BenchOptions {
+    out: String,
+    baseline: Option<String>,
+    label: String,
+    iters: u32,
+    quiet: bool,
+}
+
+impl Default for BenchOptions {
+    fn default() -> Self {
+        BenchOptions {
+            out: "BENCH_hotpath.fresh.json".into(),
+            baseline: None,
+            label: "dev".into(),
+            iters: 3,
+            quiet: false,
+        }
+    }
+}
+
+fn parse_bench_args(args: &[String]) -> Result<BenchOptions, String> {
+    let mut o = BenchOptions::default();
+    let mut i = 0;
+    let next = |i: &mut usize| -> Result<String, String> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("missing value after {}", args[*i - 1]))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => o.out = next(&mut i)?,
+            "--baseline" => o.baseline = Some(next(&mut i)?),
+            "--label" => o.label = next(&mut i)?,
+            "--iters" => o.iters = next(&mut i)?.parse().map_err(|e| format!("--iters: {e}"))?,
+            "--quiet" => o.quiet = true,
+            "--help" | "-h" => return Err("help".into()),
+            other => return Err(format!("unknown bench option {other}")),
+        }
+        i += 1;
+    }
+    if o.iters == 0 {
+        return Err("--iters must be at least 1".into());
+    }
+    Ok(o)
+}
+
+/// Seed shared by every hot-path bench scenario (the bench crate's
+/// `DEFAULT_SEED`; duplicated here so the CLI builds without the bench
+/// crate).
+const HOTPATH_SEED: u64 = 20141202;
+
+/// The fixed `(scenario, seed)` set the hot-path bench measures. Factories
+/// because [`Scenario`] is single-use; each returns `(name, builder,
+/// horizon)`.
+#[allow(clippy::type_complexity)]
+fn hotpath_scenarios() -> Vec<(&'static str, Box<dyn Fn() -> Scenario>, SimTime)> {
+    vec![
+        (
+            // The paper's Fig. 3 regime: spoofed-source DDoS against one
+            // hardware switch — the event-count worst case per switch.
+            "ddos_smoke",
+            Box::new(|| {
+                Scenario::single_switch(scotch_switch::SwitchProfile::pica8_pronto_3780())
+                    .with_clients(100.0)
+                    .with_attack(20_000.0)
+            }) as Box<dyn Fn() -> Scenario>,
+            SimTime::from_secs(10),
+        ),
+        (
+            // Scotch overlay under flood: exercises tunnels, vSwitch mesh
+            // and the controller application.
+            "overlay_ddos_smoke",
+            Box::new(|| {
+                Scenario::overlay_datacenter(4)
+                    .with_clients(100.0)
+                    .with_attack(8_000.0)
+            }),
+            SimTime::from_secs(5),
+        ),
+        (
+            // Leaf-spine fabric with mostly-legitimate load: multi-hop
+            // forwarding dominates over punts.
+            "multirack_smoke",
+            Box::new(|| {
+                Scenario::multirack(2, 2)
+                    .with_clients(200.0)
+                    .with_attack(4_000.0)
+            }),
+            SimTime::from_secs(5),
+        ),
+    ]
+}
+
+/// One measured scenario result.
+struct BenchResult {
+    name: &'static str,
+    sim_seconds: f64,
+    events: u64,
+    wall_seconds: f64,
+    events_per_sec: f64,
+}
+
+fn run_hotpath(iters: u32, quiet: bool) -> Vec<BenchResult> {
+    let mut results = Vec::new();
+    for (name, make, horizon) in hotpath_scenarios() {
+        let mut best: Option<(u64, f64)> = None; // (events, wall)
+        for _ in 0..iters {
+            let sim = make().build(HOTPATH_SEED);
+            let start = std::time::Instant::now();
+            let report = sim.run(horizon);
+            let wall = start.elapsed().as_secs_f64();
+            let events = report.events_processed;
+            if let Some((prev_events, _)) = best {
+                // Determinism sanity: the same (scenario, seed) must
+                // process the same event count every iteration.
+                assert_eq!(prev_events, events, "{name}: nondeterministic event count");
+            }
+            if best.map(|(_, w)| wall < w).unwrap_or(true) {
+                best = Some((events, wall));
+            }
+        }
+        let (events, wall) = best.unwrap();
+        let eps = events as f64 / wall.max(1e-9);
+        if !quiet {
+            eprintln!("{name}: {events} events in {wall:.3}s ({:.0} ev/s)", eps);
+        }
+        results.push(BenchResult {
+            name,
+            sim_seconds: horizon.as_secs_f64(),
+            events,
+            wall_seconds: wall,
+            events_per_sec: eps,
+        });
+    }
+    results
+}
+
+/// Render one bench run as the `BENCH_hotpath.json` `runs[]` entry.
+fn hotpath_run_json(label: &str, results: &[BenchResult]) -> scotch_runner::Json {
+    use scotch_runner::Json;
+    Json::obj().set("label", label).set(
+        "scenarios",
+        Json::Arr(
+            results
+                .iter()
+                .map(|r| {
+                    Json::obj()
+                        .set("name", r.name)
+                        .set("seed", HOTPATH_SEED)
+                        .set("sim_seconds", r.sim_seconds)
+                        .set("events", r.events)
+                        .set("wall_seconds", r.wall_seconds)
+                        .set("events_per_sec", r.events_per_sec)
+                })
+                .collect(),
+        ),
+    )
+}
+
+/// Extract `(name, events_per_sec)` pairs from a `BENCH_hotpath.json`
+/// produced by [`hotpath_run_json`]. A full JSON parser is overkill for a
+/// file we also write: scan for the `"name"`/`"events_per_sec"` lines and
+/// let the last run in the file win.
+fn parse_baseline(text: &str) -> Vec<(String, f64)> {
+    let mut out: Vec<(String, f64)> = Vec::new();
+    let mut current: Option<String> = None;
+    for line in text.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("\"name\": \"") {
+            current = rest.split('"').next().map(String::from);
+        } else if let Some(rest) = line.strip_prefix("\"events_per_sec\": ") {
+            let val: f64 = match rest.trim_end_matches(',').parse() {
+                Ok(v) => v,
+                Err(_) => continue,
+            };
+            if let Some(name) = current.take() {
+                if let Some(slot) = out.iter_mut().find(|(n, _)| *n == name) {
+                    slot.1 = val;
+                } else {
+                    out.push((name, val));
+                }
+            }
+        }
+    }
+    out
+}
+
+fn bench_main(args: &[String]) -> i32 {
+    if args.first().map(String::as_str) != Some("hotpath") {
+        eprintln!("usage: scotch-cli bench hotpath [--out FILE] [--baseline FILE]");
+        eprintln!("                                [--label NAME] [--iters N] [--quiet]");
+        return 2;
+    }
+    let opts = match parse_bench_args(&args[1..]) {
+        Ok(o) => o,
+        Err(e) => {
+            if e != "help" {
+                eprintln!("error: {e}\n");
+            }
+            eprintln!("usage: scotch-cli bench hotpath [--out FILE] [--baseline FILE]");
+            eprintln!("                                [--label NAME] [--iters N] [--quiet]");
+            return if e == "help" { 0 } else { 2 };
+        }
+    };
+
+    let results = run_hotpath(opts.iters, opts.quiet);
+    let doc = scotch_runner::Json::obj()
+        .set("bench", "hotpath")
+        .set(
+            "runs",
+            scotch_runner::Json::Arr(vec![hotpath_run_json(&opts.label, &results)]),
+        )
+        .pretty();
+    if let Err(e) = std::fs::write(&opts.out, doc) {
+        eprintln!("error: failed to write {}: {e}", opts.out);
+        return 1;
+    }
+    eprintln!("wrote {}", opts.out);
+
+    if let Some(path) = &opts.baseline {
+        match std::fs::read_to_string(path) {
+            Ok(text) => {
+                let base = parse_baseline(&text);
+                eprintln!("hotpath delta vs {path} (last run in file):");
+                for r in &results {
+                    match base.iter().find(|(n, _)| n == r.name) {
+                        Some((_, b)) if *b > 0.0 => {
+                            let ratio = r.events_per_sec / b;
+                            eprintln!(
+                                "  {}: {ratio:.2}x ({:.0} ev/s vs baseline {:.0} ev/s)",
+                                r.name, r.events_per_sec, b
+                            );
+                            if ratio < 0.9 {
+                                // Warn, never fail: CI runners have noisy
+                                // clocks and this is a trajectory, not a gate.
+                                eprintln!(
+                                    "warning: hotpath regression on {}: {ratio:.2}x vs baseline",
+                                    r.name
+                                );
+                            }
+                        }
+                        _ => eprintln!("  {}: no baseline entry", r.name),
+                    }
+                }
+            }
+            Err(e) => eprintln!("warning: cannot read baseline {path}: {e}"),
+        }
+    }
+    0
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("sweep") {
         std::process::exit(sweep_main(&args[1..]));
+    }
+    if args.first().map(String::as_str) == Some("bench") {
+        std::process::exit(bench_main(&args[1..]));
     }
     let opts = match parse_args(&args) {
         Ok(o) => o,
@@ -589,5 +857,67 @@ mod tests {
         assert!(parse_sweep("--seeds 0").is_err());
         assert!(parse_sweep("--bogus").is_err());
         assert!(parse_sweep("--seeds").is_err());
+    }
+
+    fn parse_bench(s: &str) -> Result<BenchOptions, String> {
+        let args: Vec<String> = s.split_whitespace().map(String::from).collect();
+        parse_bench_args(&args)
+    }
+
+    #[test]
+    fn bench_defaults_and_flags() {
+        assert_eq!(parse_bench("").unwrap(), BenchOptions::default());
+        let o =
+            parse_bench("--out x.json --baseline BENCH_hotpath.json --label ci --iters 1").unwrap();
+        assert_eq!(o.out, "x.json");
+        assert_eq!(o.baseline.as_deref(), Some("BENCH_hotpath.json"));
+        assert_eq!(o.label, "ci");
+        assert_eq!(o.iters, 1);
+    }
+
+    #[test]
+    fn bench_rejects_bad_input() {
+        assert!(parse_bench("--iters 0").is_err());
+        assert!(parse_bench("--bogus").is_err());
+    }
+
+    #[test]
+    fn bench_scenarios_build() {
+        for (name, make, horizon) in hotpath_scenarios() {
+            assert!(!name.is_empty());
+            assert!(horizon > SimTime::ZERO);
+            let _sim = make().build(HOTPATH_SEED);
+        }
+    }
+
+    #[test]
+    fn baseline_parser_takes_last_run() {
+        let text = hotpath_run_json(
+            "before",
+            &[BenchResult {
+                name: "ddos_smoke",
+                sim_seconds: 2.0,
+                events: 10,
+                wall_seconds: 0.5,
+                events_per_sec: 20.0,
+            }],
+        )
+        .pretty();
+        let doc = format!(
+            "{{\n\"runs\": [\n{text},\n{}\n]\n}}\n",
+            hotpath_run_json(
+                "after",
+                &[BenchResult {
+                    name: "ddos_smoke",
+                    sim_seconds: 2.0,
+                    events: 10,
+                    wall_seconds: 0.25,
+                    events_per_sec: 40.0,
+                }],
+            )
+            .pretty()
+        );
+        let base = parse_baseline(&doc);
+        assert_eq!(base, vec![("ddos_smoke".to_string(), 40.0)]);
     }
 }

@@ -138,10 +138,10 @@ pub struct Report {
     pub events_processed: u64,
     /// Delivery `(time, end-to-end latency)` samples of explicitly
     /// tracked flows (see [`crate::Simulation::track_flow`]).
-    pub tracked: std::collections::HashMap<scotch_net::FlowId, Vec<(SimTime, SimDuration)>>,
+    pub tracked: scotch_sim::FxHashMap<scotch_net::FlowId, Vec<(SimTime, SimDuration)>>,
     /// libpcap captures of tapped nodes (see
     /// [`crate::Simulation::capture_at`]).
-    pub captures: std::collections::HashMap<NodeId, crate::pcap::PcapCapture>,
+    pub captures: scotch_sim::FxHashMap<NodeId, crate::pcap::PcapCapture>,
 }
 
 impl Report {
@@ -232,6 +232,204 @@ impl Report {
     /// Aggregate Packet-In messages emitted by physical-switch OFAs.
     pub fn physical_packet_ins(&self) -> u64 {
         self.switches.iter().map(|s| s.ofa.packet_in_sent).sum()
+    }
+
+    /// Render the full report as canonical JSON: a fixed field order, map
+    /// entries sorted by key, and shortest-roundtrip float formatting, so
+    /// two byte-identical strings mean two identical reports. This is the
+    /// format the golden-report regression tests diff; any engine change
+    /// that alters event ordering shows up here as a byte difference.
+    pub fn canonical_json(&self) -> String {
+        use scotch_runner::Json;
+
+        fn time(t: SimTime) -> Json {
+            Json::Num(t.as_nanos() as f64)
+        }
+        fn opt_time(t: Option<SimTime>) -> Json {
+            t.map(time).unwrap_or(Json::Null)
+        }
+        fn key_json(k: &scotch_net::FlowKey) -> Json {
+            Json::obj()
+                .set("src", k.src.to_string())
+                .set("dst", k.dst.to_string())
+                .set("proto", format!("{:?}", k.proto))
+                .set("sport", k.sport as u64)
+                .set("dport", k.dport as u64)
+        }
+        fn ofa_json(o: &OfaStats) -> Json {
+            Json::obj()
+                .set("packet_in_sent", o.packet_in_sent)
+                .set("packet_in_dropped", o.packet_in_dropped)
+                .set("rules_attempted", o.rules_attempted)
+                .set("rules_inserted", o.rules_inserted)
+                .set("rules_failed", o.rules_failed)
+        }
+
+        let flows: Vec<Json> = self
+            .flows
+            .iter()
+            .map(|f| {
+                Json::obj()
+                    .set("id", f.id.0)
+                    .set("key", key_json(&f.key))
+                    .set("is_attack", f.is_attack)
+                    .set("emitted", f.emitted as u64)
+                    .set("intended", f.intended as u64)
+                    .set("delivered", f.delivered as u64)
+                    .set("delivered_bytes", f.delivered_bytes)
+                    .set("started_at", time(f.started_at))
+                    .set("first_delivered", opt_time(f.first_delivered))
+                    .set("last_delivered", opt_time(f.last_delivered))
+                    .set(
+                        "served_by",
+                        match f.served_by {
+                            Some(p) => Json::Str(format!("{p:?}")),
+                            None => Json::Null,
+                        },
+                    )
+            })
+            .collect();
+
+        let switches: Vec<Json> = self
+            .switches
+            .iter()
+            .map(|s| {
+                Json::obj()
+                    .set("node", s.node.0 as u64)
+                    .set("name", s.name.clone())
+                    .set("ofa", ofa_json(&s.ofa))
+                    .set(
+                        "dataplane",
+                        Json::obj()
+                            .set("forwarded", s.dataplane.forwarded)
+                            .set("dropped_interaction", s.dataplane.dropped_interaction)
+                            .set("dropped_ofa", s.dataplane.dropped_ofa)
+                            .set("dropped_other", s.dataplane.dropped_other),
+                    )
+            })
+            .collect();
+
+        let vswitches: Vec<Json> = self
+            .vswitches
+            .iter()
+            .map(|v| {
+                Json::obj()
+                    .set("node", v.node.0 as u64)
+                    .set("name", v.name.clone())
+                    .set("ofa", ofa_json(&v.ofa))
+                    .set(
+                        "dataplane",
+                        Json::obj()
+                            .set("forwarded", v.dataplane.forwarded)
+                            .set("dropped_dataplane", v.dataplane.dropped_dataplane)
+                            .set("dropped_agent", v.dataplane.dropped_agent)
+                            .set("decapsulated", v.dataplane.decapsulated),
+                    )
+            })
+            .collect();
+
+        let latency = Json::obj()
+            .set("count", self.latency.count())
+            .set("zero_count", self.latency.zero_count())
+            .set("sum", self.latency.sum())
+            .set("min", self.latency.min())
+            .set("max", self.latency.max())
+            .set(
+                "buckets",
+                Json::Arr(
+                    self.latency
+                        .nonzero_buckets()
+                        .into_iter()
+                        .map(|(d, s, n)| {
+                            Json::Arr(vec![
+                                Json::Num(d as f64),
+                                Json::Num(s as f64),
+                                Json::Num(n as f64),
+                            ])
+                        })
+                        .collect(),
+                ),
+            );
+
+        let mut tracked_ids: Vec<_> = self.tracked.keys().copied().collect();
+        tracked_ids.sort();
+        let tracked: Vec<Json> = tracked_ids
+            .iter()
+            .map(|id| {
+                let samples = &self.tracked[id];
+                Json::obj().set("flow", id.0).set(
+                    "samples",
+                    Json::Arr(
+                        samples
+                            .iter()
+                            .map(|&(t, d)| Json::Arr(vec![time(t), Json::Num(d.as_nanos() as f64)]))
+                            .collect(),
+                    ),
+                )
+            })
+            .collect();
+
+        let mut capture_nodes: Vec<_> = self.captures.keys().copied().collect();
+        capture_nodes.sort();
+        let captures: Vec<Json> = capture_nodes
+            .iter()
+            .map(|n| {
+                let cap = &self.captures[n];
+                // FNV-1a over the raw pcap bytes pins the capture content
+                // without inflating the report with a hex dump.
+                let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+                for &b in cap.bytes() {
+                    h ^= b as u64;
+                    h = h.wrapping_mul(0x1000_0000_01b3);
+                }
+                Json::obj()
+                    .set("node", n.0 as u64)
+                    .set("records", cap.records())
+                    .set("bytes", cap.bytes().len())
+                    .set("fnv1a", format!("{h:016x}"))
+            })
+            .collect();
+
+        Json::obj()
+            .set("duration_ns", self.duration.as_nanos())
+            .set("events_processed", self.events_processed)
+            .set(
+                "app",
+                Json::obj()
+                    .set("packet_ins", self.app.packet_ins)
+                    .set("duplicate_packet_ins", self.app.duplicate_packet_ins)
+                    .set("physical_admitted", self.app.physical_admitted)
+                    .set("overlay_admitted", self.app.overlay_admitted)
+                    .set("dropped", self.app.dropped)
+                    .set("unroutable", self.app.unroutable)
+                    .set("activations", self.app.activations)
+                    .set("withdrawals", self.app.withdrawals)
+                    .set("migrations", self.app.migrations)
+                    .set("migrations_deferred", self.app.migrations_deferred)
+                    .set("failovers", self.app.failovers)
+                    .set("rule_failures", self.app.rule_failures)
+                    .set("overlay_undeliverable", self.app.overlay_undeliverable),
+            )
+            .set(
+                "drops",
+                Json::obj()
+                    .set("ofa_overload", self.drops.ofa_overload)
+                    .set("dataplane", self.drops.dataplane)
+                    .set("policy", self.drops.policy)
+                    .set("no_route", self.drops.no_route)
+                    .set("link_queue", self.drops.link_queue)
+                    .set("link_faults", self.drops.link_faults),
+            )
+            .set("middlebox_rejections", self.middlebox_rejections)
+            .set("misrouted", self.misrouted)
+            .set("controller_dropped", self.controller_dropped)
+            .set("latency", latency)
+            .set("switches", Json::Arr(switches))
+            .set("vswitches", Json::Arr(vswitches))
+            .set("flows", Json::Arr(flows))
+            .set("tracked", Json::Arr(tracked))
+            .set("captures", Json::Arr(captures))
+            .pretty()
     }
 
     /// A one-paragraph human summary.

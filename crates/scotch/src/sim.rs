@@ -10,14 +10,13 @@
 use crate::app::{ControllerMode, ScotchApp};
 use crate::report::{DropCounts, FlowOutcome, Report, SwitchReport, VSwitchReport};
 use scotch_controller::Command;
-use scotch_net::{IpAddr, Label, NodeId, NodeKind, Packet, PortId, Topology};
+use scotch_net::{IpAddr, Label, NodeId, NodeKind, NodeMap, Packet, PortId, Topology};
 use scotch_openflow::{ControllerToSwitch, SwitchToController};
 use scotch_sim::metrics::Histogram;
-use scotch_sim::{EventQueue, SimDuration, SimTime};
+use scotch_sim::{EventQueue, FxHashMap, SimDuration, SimTime};
 use scotch_switch::middlebox::{MbVerdict, Middlebox};
 use scotch_switch::{DropReason, Output, PhysicalSwitch, VSwitch};
 use scotch_workload::{FlowArrival, FlowSource, FlowSpec};
-use std::collections::HashMap;
 
 /// Discrete events.
 enum Event {
@@ -33,17 +32,25 @@ enum Event {
     SourceNext { source_idx: usize },
     /// A switch→controller message arrives at the controller (subject to
     /// the optional controller-capacity gate).
+    ///
+    /// Control messages are boxed to keep the `Event` enum at the size of
+    /// its hot variant (`Arrive`): every event is memmoved several times
+    /// through the timing wheel, so the max variant size is a hot-path
+    /// constant, while control events are comparatively rare.
     CtrlFromSwitch {
         from: NodeId,
-        msg: SwitchToController,
+        msg: Box<SwitchToController>,
     },
     /// A gated message whose controller service time has elapsed.
     CtrlProcessed {
         from: NodeId,
-        msg: SwitchToController,
+        msg: Box<SwitchToController>,
     },
     /// A controller→switch message arrives at a switch.
-    CtrlToSwitch { to: NodeId, msg: ControllerToSwitch },
+    CtrlToSwitch {
+        to: NodeId,
+        msg: Box<ControllerToSwitch>,
+    },
     /// Periodic controller work (queue service, monitoring).
     ControllerTick,
     /// Periodic FlowStats poll (§5.3).
@@ -58,6 +65,43 @@ enum Event {
     JoinVSwitch { node: NodeId },
     /// Scripted recovery of a previously failed vSwitch (§5.6).
     RecoverVSwitch { node: NodeId },
+}
+
+/// Dense flow-id → record-index map. `FlowId` encodes `stream << 48 | seq`
+/// with both halves handed out contiguously by `FlowIdAllocator`, so two
+/// levels of `Vec` replace hashing on the per-packet delivery path (and the
+/// rehash churn of growing a map by hundreds of thousands of flows).
+/// Stored values are `index + 1`; 0 marks an empty slot.
+#[derive(Default)]
+struct FlowIndex {
+    streams: Vec<Vec<u32>>,
+}
+
+impl FlowIndex {
+    const SEQ_MASK: u64 = (1 << 48) - 1;
+
+    #[inline]
+    fn get(&self, id: scotch_net::FlowId) -> Option<usize> {
+        let stream = (id.0 >> 48) as usize;
+        let seq = (id.0 & Self::SEQ_MASK) as usize;
+        match self.streams.get(stream)?.get(seq) {
+            Some(&v) if v != 0 => Some((v - 1) as usize),
+            _ => None,
+        }
+    }
+
+    fn insert(&mut self, id: scotch_net::FlowId, idx: usize) {
+        let stream = (id.0 >> 48) as usize;
+        let seq = (id.0 & Self::SEQ_MASK) as usize;
+        if stream >= self.streams.len() {
+            self.streams.resize_with(stream + 1, Vec::new);
+        }
+        let v = &mut self.streams[stream];
+        if seq >= v.len() {
+            v.resize(seq + 1, 0);
+        }
+        v[seq] = u32::try_from(idx + 1).expect("flow record index fits u32");
+    }
 }
 
 struct FlowRecord {
@@ -78,16 +122,16 @@ pub struct Simulation {
     pub topo: Topology,
     /// The controller application.
     pub app: ScotchApp,
-    physical: HashMap<NodeId, PhysicalSwitch>,
-    vswitches: HashMap<NodeId, VSwitch>,
-    middleboxes: HashMap<NodeId, Middlebox>,
-    host_ip: HashMap<NodeId, IpAddr>,
-    ip_host: HashMap<IpAddr, NodeId>,
+    physical: NodeMap<PhysicalSwitch>,
+    vswitches: NodeMap<VSwitch>,
+    middleboxes: NodeMap<Middlebox>,
+    host_ip: NodeMap<IpAddr>,
+    ip_host: FxHashMap<IpAddr, NodeId>,
     sources: Vec<(NodeId, Box<dyn FlowSource>)>,
     flows: Vec<FlowRecord>,
-    flow_index: HashMap<scotch_net::FlowId, usize>,
-    tracked: HashMap<scotch_net::FlowId, Vec<(SimTime, SimDuration)>>,
-    captures: HashMap<NodeId, crate::pcap::PcapCapture>,
+    flow_index: FlowIndex,
+    tracked: FxHashMap<scotch_net::FlowId, Vec<(SimTime, SimDuration)>>,
+    captures: NodeMap<crate::pcap::PcapCapture>,
     events: EventQueue<Event>,
     /// Optional controller processing gate (see
     /// `ScotchConfig::controller_capacity`).
@@ -96,6 +140,9 @@ pub struct Simulation {
     drops: DropCounts,
     latency: Histogram,
     misrouted: u64,
+    /// Reusable device-output buffer: one allocation for the whole run
+    /// instead of one `Vec<Output>` per packet event.
+    out_buf: Vec<Output>,
     sweep_interval: SimDuration,
 }
 
@@ -113,20 +160,21 @@ impl Simulation {
             controller_dropped: 0,
             topo,
             app,
-            physical: HashMap::new(),
-            vswitches: HashMap::new(),
-            middleboxes: HashMap::new(),
-            host_ip: HashMap::new(),
-            ip_host: HashMap::new(),
+            physical: NodeMap::new(),
+            vswitches: NodeMap::new(),
+            middleboxes: NodeMap::new(),
+            host_ip: NodeMap::new(),
+            ip_host: FxHashMap::default(),
             sources: Vec::new(),
             flows: Vec::new(),
-            flow_index: HashMap::new(),
-            tracked: HashMap::new(),
-            captures: HashMap::new(),
+            flow_index: FlowIndex::default(),
+            tracked: FxHashMap::default(),
+            captures: NodeMap::new(),
             events: EventQueue::new(),
             drops: DropCounts::default(),
             latency: Histogram::new(),
             misrouted: 0,
+            out_buf: Vec::new(),
             sweep_interval: SimDuration::from_secs(1),
         }
     }
@@ -168,7 +216,7 @@ impl Simulation {
     /// capture available in [`Report::captures`](crate::Report) after the
     /// run (smoltcp-style `--pcap` debugging).
     pub fn capture_at(&mut self, node: NodeId) {
-        self.captures.entry(node).or_default();
+        self.captures.entry_or_default(node);
     }
 
     /// Delivery `(time, end-to-end latency)` samples of a tracked flow.
@@ -201,16 +249,16 @@ impl Simulation {
                 SimTime::ZERO,
                 Event::CtrlToSwitch {
                     to: cmd.to,
-                    msg: cmd.msg,
+                    msg: Box::new(cmd.msg),
                 },
             );
         }
     }
 
     fn control_latency(&self, node: NodeId) -> SimDuration {
-        if let Some(s) = self.physical.get(&node) {
+        if let Some(s) = self.physical.get(node) {
             s.control_latency()
-        } else if let Some(v) = self.vswitches.get(&node) {
+        } else if let Some(v) = self.vswitches.get(node) {
             v.control_latency()
         } else {
             SimDuration::from_millis(1)
@@ -224,7 +272,7 @@ impl Simulation {
                 at,
                 Event::CtrlToSwitch {
                     to: cmd.to,
-                    msg: cmd.msg,
+                    msg: Box::new(cmd.msg),
                 },
             );
         }
@@ -248,16 +296,21 @@ impl Simulation {
         }
     }
 
-    fn handle_outputs(&mut self, now: SimTime, node: NodeId, outputs: Vec<Output>) {
-        for out in outputs {
+    fn handle_outputs(&mut self, now: SimTime, node: NodeId, outputs: &mut Vec<Output>) {
+        for out in outputs.drain(..) {
             match out {
                 Output::Forward { out_port, packet } => {
                     self.transmit(now, node, out_port, packet);
                 }
                 Output::ToController { at, msg } => {
                     let deliver = at.max(now) + self.control_latency(node);
-                    self.events
-                        .push(deliver, Event::CtrlFromSwitch { from: node, msg });
+                    self.events.push(
+                        deliver,
+                        Event::CtrlFromSwitch {
+                            from: node,
+                            msg: Box::new(msg),
+                        },
+                    );
                 }
                 Output::Dropped { reason, .. } => match reason {
                     DropReason::OfaOverload => self.drops.ofa_overload += 1,
@@ -270,19 +323,19 @@ impl Simulation {
     }
 
     fn on_arrive(&mut self, now: SimTime, node: NodeId, port: PortId, packet: Packet) {
-        if let Some(cap) = self.captures.get_mut(&node) {
+        if let Some(cap) = self.captures.get_mut(node) {
             cap.record(now, &packet);
         }
         match self.topo.kind(node) {
             NodeKind::Host => self.deliver(now, node, packet),
             NodeKind::Middlebox => {
-                let Some(mb) = self.middleboxes.get_mut(&node) else {
+                let Some(mb) = self.middleboxes.get_mut(node) else {
                     return;
                 };
                 match mb.process(packet) {
                     MbVerdict::Pass(p) => {
                         // Two-port device: exit on the other port.
-                        let other = self.topo.ports(node).into_iter().find(|p2| *p2 != port);
+                        let other = self.topo.port_iter(node).find(|p2| *p2 != port);
                         if let Some(out) = other {
                             self.transmit(now, node, out, p);
                         }
@@ -310,41 +363,48 @@ impl Simulation {
                         // device (its tables may still match).
                     }
                 }
-                if let Some(sw) = self.physical.get_mut(&node) {
-                    let outputs = sw.handle_packet(now, port, packet);
-                    self.handle_outputs(now, node, outputs);
-                } else if let Some(vs) = self.vswitches.get_mut(&node) {
+                let mut buf = std::mem::take(&mut self.out_buf);
+                if let Some(sw) = self.physical.get_mut(node) {
+                    sw.handle_packet_into(now, port, packet, &mut buf);
+                    self.handle_outputs(now, node, &mut buf);
+                } else if let Some(vs) = self.vswitches.get_mut(node) {
                     let terminates = matches!(packet.top_label(), Some(Label::Tunnel(t))
                         if self.app.overlay.tunnels.endpoint(t) == Some(node));
-                    let outputs = vs.handle_packet(now, port, packet, terminates);
-                    self.handle_outputs(now, node, outputs);
+                    vs.handle_packet_into(now, port, packet, terminates, &mut buf);
+                    self.handle_outputs(now, node, &mut buf);
                 }
+                self.out_buf = buf;
             }
         }
     }
 
     fn deliver(&mut self, now: SimTime, host: NodeId, packet: Packet) {
-        let expected = self.host_ip.get(&host);
+        let expected = self.host_ip.get(host);
         if expected != Some(&packet.key.dst) {
             self.misrouted += 1;
             return;
         }
-        if let Some(&idx) = self.flow_index.get(&packet.flow_id) {
-            let served_by = self.app.flowdb.get(&packet.key).map(|i| i.path);
+        if let Some(idx) = self.flow_index.get(packet.flow_id) {
             let rec = &mut self.flows[idx];
             rec.delivered += 1;
             rec.delivered_bytes += packet.size as u64;
             if rec.first_delivered.is_none() {
                 rec.first_delivered = Some(now);
-                rec.served_by = served_by;
+                // The flowdb lookup only matters on first delivery; keeping
+                // it out of the per-packet path saves a hash per event.
+                rec.served_by = self.app.flowdb.get(&packet.key).map(|i| i.path);
             }
             rec.last_delivered = Some(now);
             if !rec.spec.is_attack {
                 self.latency
                     .record(now.duration_since(packet.born_at).as_nanos() as f64);
             }
-            if let Some(ts) = self.tracked.get_mut(&packet.flow_id) {
-                ts.push((now, now.duration_since(packet.born_at)));
+            // `tracked` is empty unless a test opted specific flows in;
+            // skip the per-packet hash in that common case.
+            if !self.tracked.is_empty() {
+                if let Some(ts) = self.tracked.get_mut(&packet.flow_id) {
+                    ts.push((now, now.duration_since(packet.born_at)));
+                }
             }
         }
     }
@@ -396,12 +456,7 @@ impl Simulation {
             (p, rec.src_host, seq + 1 < spec.packets)
         };
         // Hosts have exactly one uplink: port 0.
-        let uplink = self
-            .topo
-            .ports(src_host)
-            .first()
-            .copied()
-            .unwrap_or(PortId(0));
+        let uplink = self.topo.port_iter(src_host).next().unwrap_or(PortId(0));
         self.transmit(now, src_host, uplink, packet);
         if more {
             let gap = self.flows[flow_idx].spec.packet_interval;
@@ -457,7 +512,7 @@ impl Simulation {
                     None => {
                         let cmds = {
                             let topo = &self.topo;
-                            self.app.handle_switch_msg(now, topo, from, msg)
+                            self.app.handle_switch_msg(now, topo, from, *msg)
                         };
                         self.dispatch_commands(now, cmds);
                     }
@@ -465,19 +520,19 @@ impl Simulation {
                 Event::CtrlProcessed { from, msg } => {
                     let cmds = {
                         let topo = &self.topo;
-                        self.app.handle_switch_msg(now, topo, from, msg)
+                        self.app.handle_switch_msg(now, topo, from, *msg)
                     };
                     self.dispatch_commands(now, cmds);
                 }
                 Event::CtrlToSwitch { to, msg } => {
-                    let outputs = if let Some(sw) = self.physical.get_mut(&to) {
-                        sw.handle_controller_msg(now, msg)
-                    } else if let Some(vs) = self.vswitches.get_mut(&to) {
-                        vs.handle_controller_msg(now, msg)
+                    let mut outputs = if let Some(sw) = self.physical.get_mut(to) {
+                        sw.handle_controller_msg(now, *msg)
+                    } else if let Some(vs) = self.vswitches.get_mut(to) {
+                        vs.handle_controller_msg(now, *msg)
                     } else {
                         Vec::new()
                     };
-                    self.handle_outputs(now, to, outputs);
+                    self.handle_outputs(now, to, &mut outputs);
                 }
                 Event::ControllerTick => {
                     let cmds = {
@@ -498,21 +553,27 @@ impl Simulation {
                     self.events.push(now + hb, Event::Heartbeat);
                 }
                 Event::ExpirySweep => {
-                    let nodes: Vec<NodeId> = self.physical.keys().copied().collect();
-                    for n in nodes {
-                        let outs = self.physical.get_mut(&n).unwrap().expire_flows(now);
-                        self.handle_outputs(now, n, outs);
+                    // Ascending-id walks (no key collection): dense stores
+                    // make the sweep order deterministic by construction.
+                    for i in 0..self.physical.id_bound() {
+                        let n = NodeId(i);
+                        if let Some(sw) = self.physical.get_mut(n) {
+                            let mut outs = sw.expire_flows(now);
+                            self.handle_outputs(now, n, &mut outs);
+                        }
                     }
-                    let vnodes: Vec<NodeId> = self.vswitches.keys().copied().collect();
-                    for n in vnodes {
-                        let outs = self.vswitches.get_mut(&n).unwrap().expire_flows(now);
-                        self.handle_outputs(now, n, outs);
+                    for i in 0..self.vswitches.id_bound() {
+                        let n = NodeId(i);
+                        if let Some(vs) = self.vswitches.get_mut(n) {
+                            let mut outs = vs.expire_flows(now);
+                            self.handle_outputs(now, n, &mut outs);
+                        }
                     }
                     self.events
                         .push(now + self.sweep_interval, Event::ExpirySweep);
                 }
                 Event::FailVSwitch { node } => {
-                    if let Some(vs) = self.vswitches.get_mut(&node) {
+                    if let Some(vs) = self.vswitches.get_mut(node) {
                         vs.failed = true;
                     }
                 }
@@ -524,7 +585,7 @@ impl Simulation {
                     self.dispatch_commands(now, cmds);
                 }
                 Event::RecoverVSwitch { node } => {
-                    if let Some(vs) = self.vswitches.get_mut(&node) {
+                    if let Some(vs) = self.vswitches.get_mut(node) {
                         vs.failed = false;
                     }
                     self.app.recover_vswitch(now, node);
@@ -539,28 +600,26 @@ impl Simulation {
         let mut drops = self.drops;
         drops.link_queue += self.topo.total_link_drops();
         drops.link_faults = self.topo.total_link_faults();
-        let mut switches: Vec<SwitchReport> = self
+        let switches: Vec<SwitchReport> = self
             .physical
             .iter()
             .map(|(n, s)| SwitchReport {
-                node: *n,
-                name: self.topo.name(*n).to_string(),
+                node: n,
+                name: self.topo.name(n).to_string(),
                 ofa: s.ofa_stats(),
                 dataplane: s.stats(),
             })
             .collect();
-        switches.sort_by_key(|s| s.node);
-        let mut vswitches: Vec<VSwitchReport> = self
+        let vswitches: Vec<VSwitchReport> = self
             .vswitches
             .iter()
             .map(|(n, v)| VSwitchReport {
-                node: *n,
-                name: self.topo.name(*n).to_string(),
+                node: n,
+                name: self.topo.name(n).to_string(),
                 ofa: v.ofa_stats(),
                 dataplane: v.stats(),
             })
             .collect();
-        vswitches.sort_by_key(|v| v.node);
 
         let middlebox_rejections = self.middleboxes.values().map(|m| m.rejected()).sum();
 
@@ -593,7 +652,7 @@ impl Simulation {
             controller_dropped: self.controller_dropped,
             events_processed,
             tracked: self.tracked,
-            captures: self.captures,
+            captures: self.captures.into_iter().collect(),
         }
     }
 }

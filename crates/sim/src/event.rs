@@ -4,10 +4,33 @@
 //! insertion order (a monotonically increasing sequence number), which makes
 //! the engine deterministic: two runs that push the same events in the same
 //! order pop them in the same order, regardless of payload contents.
+//!
+//! Two implementations share that contract:
+//!
+//! * [`EventQueue`] — a hierarchical timing wheel, the production queue.
+//!   Pushes and pops are O(1) amortized instead of the O(log n) of a binary
+//!   heap, and the slot buckets recycle their allocations, so the steady
+//!   state allocates nothing.
+//! * [`HeapEventQueue`] — the original `BinaryHeap` queue, kept as the
+//!   executable specification. Property tests drive both with the same
+//!   operation sequences and assert identical `(time, seq, payload)` pop
+//!   streams.
+//!
+//! ## Wheel geometry
+//!
+//! Four levels of 256 slots. A level-`k` slot spans `2^(8k)` ns: level 0
+//! resolves single nanoseconds, level 3 slots span ~16.8 ms, and the whole
+//! wheel covers deltas up to `2^32` ns (~4.3 s). Events further out than
+//! that land in a sorted *spill* heap and migrate into the wheel as the
+//! cursor approaches them. An event is addressed by the 8-bit digit of its
+//! timestamp at its level (`(at >> 8k) & 0xff`); when the cursor enters a
+//! level-`k > 0` slot's window the slot *cascades* — its events re-place
+//! into finer levels — until the due events sit in a level-0 slot, which
+//! holds a single timestamp and drains in seq order.
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 /// Internal heap entry. `Reverse`-style ordering: the *earliest* event is the
 /// greatest element so it surfaces at the top of the max-heap.
@@ -37,21 +60,12 @@ impl<E> Ord for Entry<E> {
     }
 }
 
-/// A deterministic future-event list.
+/// The reference event queue over a binary heap.
 ///
-/// ```
-/// use scotch_sim::{EventQueue, SimTime};
-///
-/// let mut q = EventQueue::new();
-/// q.push(SimTime::from_secs(2), "later");
-/// q.push(SimTime::from_secs(1), "sooner");
-/// q.push(SimTime::from_secs(1), "sooner-but-second");
-/// assert_eq!(q.pop(), Some((SimTime::from_secs(1), "sooner")));
-/// assert_eq!(q.pop(), Some((SimTime::from_secs(1), "sooner-but-second")));
-/// assert_eq!(q.pop(), Some((SimTime::from_secs(2), "later")));
-/// assert_eq!(q.pop(), None);
-/// ```
-pub struct EventQueue<E> {
+/// Functionally identical to [`EventQueue`]; see the module docs. Kept
+/// because it is small enough to be obviously correct, which makes it the
+/// oracle the timing wheel is property-tested against.
+pub struct HeapEventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     seq: u64,
     /// Timestamp of the last popped event; pops are monotone.
@@ -60,16 +74,16 @@ pub struct EventQueue<E> {
     popped_total: u64,
 }
 
-impl<E> Default for EventQueue<E> {
+impl<E> Default for HeapEventQueue<E> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<E> EventQueue<E> {
+impl<E> HeapEventQueue<E> {
     /// An empty queue positioned at `t = 0`.
     pub fn new() -> Self {
-        EventQueue {
+        HeapEventQueue {
             heap: BinaryHeap::new(),
             seq: 0,
             now: SimTime::ZERO,
@@ -78,11 +92,7 @@ impl<E> EventQueue<E> {
         }
     }
 
-    /// Schedule `payload` for time `at`.
-    ///
-    /// Scheduling in the past is a logic error in a DES; the event is clamped
-    /// to the current time instead of time-travelling, which keeps the pop
-    /// stream monotone.
+    /// Schedule `payload` for time `at` (clamped to the current time).
     pub fn push(&mut self, at: SimTime, payload: E) {
         let at = at.max(self.now);
         let seq = self.seq;
@@ -118,6 +128,302 @@ impl<E> EventQueue<E> {
     /// True when no events are pending.
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
+    }
+
+    /// Total events ever pushed (diagnostic).
+    pub fn pushed_total(&self) -> u64 {
+        self.pushed_total
+    }
+
+    /// Total events ever popped (diagnostic).
+    pub fn popped_total(&self) -> u64 {
+        self.popped_total
+    }
+}
+
+/// Slots per wheel level (one byte of the timestamp each).
+const SLOTS: usize = 256;
+/// Wheel levels; level `k` slots span `2^(8k)` ns.
+const LEVELS: usize = 4;
+/// Deltas at or beyond this go to the spill heap (`2^(8 * LEVELS)` ns).
+const HORIZON: u64 = 1 << (8 * LEVELS as u32);
+
+/// A scheduled event inside a wheel bucket.
+struct Node<E> {
+    at: u64,
+    seq: u64,
+    payload: E,
+}
+
+/// One wheel level: 256 buckets plus an occupancy bitmap for O(1) scans.
+struct Level<E> {
+    occ: [u64; 4],
+    slots: Vec<Vec<Node<E>>>,
+}
+
+impl<E> Level<E> {
+    fn new() -> Self {
+        Level {
+            occ: [0; 4],
+            slots: (0..SLOTS).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    fn push(&mut self, slot: usize, node: Node<E>) {
+        self.occ[slot / 64] |= 1u64 << (slot % 64);
+        self.slots[slot].push(node);
+    }
+
+    /// First occupied slot at index `>= from`. No wrap-around: an event's
+    /// slot digit is never below the cursor's digit at its level (they
+    /// share all higher digits and the event is not in the past), so slots
+    /// behind the cursor are empty. Slot order is time order per level.
+    fn next_occupied(&self, from: usize) -> Option<usize> {
+        let (w0, b0) = (from / 64, from % 64);
+        let masked = self.occ[w0] & (!0u64 << b0);
+        if masked != 0 {
+            return Some(w0 * 64 + masked.trailing_zeros() as usize);
+        }
+        for w in w0 + 1..4 {
+            if self.occ[w] != 0 {
+                return Some(w * 64 + self.occ[w].trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Take a slot's bucket, clearing its occupancy bit. The caller returns
+    /// the emptied `Vec` via [`Level::restore`] so its capacity is reused.
+    fn take(&mut self, slot: usize) -> Vec<Node<E>> {
+        self.occ[slot / 64] &= !(1u64 << (slot % 64));
+        std::mem::take(&mut self.slots[slot])
+    }
+
+    fn restore(&mut self, slot: usize, mut bucket: Vec<Node<E>>) {
+        debug_assert!(self.slots[slot].is_empty());
+        bucket.clear();
+        self.slots[slot] = bucket;
+    }
+}
+
+/// A deterministic future-event list (hierarchical timing wheel).
+///
+/// ```
+/// use scotch_sim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_secs(2), "later");
+/// q.push(SimTime::from_secs(1), "sooner");
+/// q.push(SimTime::from_secs(1), "sooner-but-second");
+/// assert_eq!(q.pop(), Some((SimTime::from_secs(1), "sooner")));
+/// assert_eq!(q.pop(), Some((SimTime::from_secs(1), "sooner-but-second")));
+/// assert_eq!(q.pop(), Some((SimTime::from_secs(2), "later")));
+/// assert_eq!(q.pop(), None);
+/// ```
+pub struct EventQueue<E> {
+    levels: Vec<Level<E>>,
+    /// Events beyond the wheel horizon, ordered by `(at, seq)`.
+    spill: BinaryHeap<Entry<E>>,
+    /// The drained due bucket: events at `current_at`, in seq order.
+    current: VecDeque<(u64, E)>,
+    current_at: SimTime,
+    /// The wheel's position, in ns. Invariants: `now <= cursor`, and every
+    /// event in the wheel or spill has `at >= cursor`.
+    cursor: u64,
+    pending: usize,
+    seq: u64,
+    /// Timestamp of the last popped event; pops are monotone.
+    now: SimTime,
+    pushed_total: u64,
+    popped_total: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue positioned at `t = 0`.
+    pub fn new() -> Self {
+        EventQueue {
+            levels: (0..LEVELS).map(|_| Level::new()).collect(),
+            spill: BinaryHeap::new(),
+            current: VecDeque::new(),
+            current_at: SimTime::ZERO,
+            cursor: 0,
+            pending: 0,
+            seq: 0,
+            now: SimTime::ZERO,
+            pushed_total: 0,
+            popped_total: 0,
+        }
+    }
+
+    /// Schedule `payload` for time `at`.
+    ///
+    /// Scheduling in the past is a logic error in a DES; the event is clamped
+    /// to the current time instead of time-travelling, which keeps the pop
+    /// stream monotone.
+    pub fn push(&mut self, at: SimTime, payload: E) {
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.pushed_total += 1;
+        self.pending += 1;
+        self.place(at.0, seq, payload);
+    }
+
+    /// Route an event to its wheel level, or to the spill heap.
+    ///
+    /// The level is the position of the highest digit (base 256) in which
+    /// `at` differs from the cursor. That guarantees the target slot is
+    /// strictly ahead of the cursor's slot at that level (equal higher
+    /// digits, larger level digit), so cascades always re-place into finer
+    /// levels and terminate. Events whose top four digits differ from the
+    /// cursor's don't fit the wheel and go to the spill heap — since they
+    /// exceed the cursor in a higher digit, they sort after every wheel
+    /// event.
+    fn place(&mut self, at: u64, seq: u64, payload: E) {
+        debug_assert!(at >= self.cursor);
+        let diff = at ^ self.cursor;
+        if diff >= HORIZON {
+            self.spill.push(Entry {
+                at: SimTime(at),
+                seq,
+                payload,
+            });
+            return;
+        }
+        let level = (63 - (diff | 1).leading_zeros() as usize) / 8;
+        let slot = ((at >> (8 * level)) & 0xff) as usize;
+        self.levels[level].push(slot, Node { at, seq, payload });
+    }
+
+    /// Absolute start of the part of `(level, slot)`'s window at or after
+    /// the cursor. `slot` is at or ahead of the cursor's index (see
+    /// [`Level::next_occupied`]).
+    fn window_start(&self, level: usize, slot: usize) -> u64 {
+        let shift = 8 * level as u32;
+        let idx = (self.cursor >> shift) & 0xff;
+        ((self.cursor >> shift) - idx + slot as u64) << shift
+    }
+
+    /// Move spill events that now fit the wheel horizon into the wheel.
+    fn migrate_spill(&mut self) {
+        while let Some(e) = self.spill.peek() {
+            if (e.at.0 ^ self.cursor) >= HORIZON {
+                break;
+            }
+            let e = self.spill.pop().unwrap();
+            self.place(e.at.0, e.seq, e.payload);
+        }
+    }
+
+    /// Advance the wheel until the next due bucket is drained into
+    /// `current`. Returns `None` when no events are pending anywhere.
+    fn refill(&mut self) -> Option<()> {
+        debug_assert!(self.current.is_empty());
+        loop {
+            self.migrate_spill();
+            // Candidate: the minimal window start over each level's first
+            // occupied slot. Ties prefer the coarser level so its window
+            // cascades before a finer bucket at the same time drains.
+            let mut best: Option<(u64, usize, usize)> = None;
+            for (k, level) in self.levels.iter().enumerate() {
+                let idx = ((self.cursor >> (8 * k as u32)) & 0xff) as usize;
+                if let Some(s) = level.next_occupied(idx) {
+                    let bound = self.window_start(k, s).max(self.cursor);
+                    let better = match best {
+                        None => true,
+                        Some((bb, bk, _)) => bound < bb || (bound == bb && k > bk),
+                    };
+                    if better {
+                        best = Some((bound, k, s));
+                    }
+                }
+            }
+            let Some((bound, k, s)) = best else {
+                // Wheel empty: jump to the spill's earliest event (if any)
+                // and let migration pull it in on the next iteration.
+                let jump = self.spill.peek()?.at.0;
+                debug_assert!(jump >= self.cursor);
+                self.cursor = jump;
+                continue;
+            };
+            self.cursor = bound;
+            let mut bucket = self.levels[k].take(s);
+            if k == 0 {
+                // A level-0 slot holds a single timestamp; seq order
+                // restores global FIFO across direct pushes, cascades and
+                // spill migrations.
+                bucket.sort_unstable_by_key(|n| n.seq);
+                self.current_at = SimTime(bound);
+                for n in bucket.drain(..) {
+                    debug_assert!(n.at == bound);
+                    self.current.push_back((n.seq, n.payload));
+                }
+                self.levels[0].restore(s, bucket);
+                return Some(());
+            }
+            // Cascade: re-place the window's events against the advanced
+            // cursor; they land in strictly finer levels.
+            for n in bucket.drain(..) {
+                self.place(n.at, n.seq, n.payload);
+            }
+            self.levels[k].restore(s, bucket);
+        }
+    }
+
+    /// Remove and return the earliest event, advancing the queue's clock.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        if self.current.is_empty() {
+            self.refill()?;
+        }
+        let (_, payload) = self.current.pop_front().unwrap();
+        let at = self.current_at;
+        debug_assert!(at >= self.now, "event queue went backwards");
+        self.now = at;
+        self.popped_total += 1;
+        self.pending -= 1;
+        Some((at, payload))
+    }
+
+    /// Timestamp of the next event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        if !self.current.is_empty() {
+            return Some(self.current_at);
+        }
+        let mut min: Option<u64> = None;
+        for (k, level) in self.levels.iter().enumerate() {
+            let idx = ((self.cursor >> (8 * k as u32)) & 0xff) as usize;
+            if let Some(s) = level.next_occupied(idx) {
+                // Ring order is time order per level, so the first occupied
+                // slot's earliest entry is the level's minimum.
+                let m = level.slots[s].iter().map(|n| n.at).min().unwrap();
+                min = Some(min.map_or(m, |v: u64| v.min(m)));
+            }
+        }
+        if let Some(e) = self.spill.peek() {
+            min = Some(min.map_or(e.at.0, |v| v.min(e.at.0)));
+        }
+        min.map(SimTime)
+    }
+
+    /// The current simulation time: the timestamp of the last popped event.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.pending
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.pending == 0
     }
 
     /// Total events ever pushed (diagnostic).
@@ -192,6 +498,42 @@ mod tests {
         assert_eq!(q.peek_time(), None);
     }
 
+    #[test]
+    fn far_events_spill_and_return() {
+        // Beyond the 2^32 ns wheel horizon.
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(8), "far");
+        q.push(SimTime::from_secs(1), "near");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(1)));
+        assert_eq!(q.pop(), Some((SimTime::from_secs(1), "near")));
+        assert_eq!(q.pop(), Some((SimTime::from_secs(8), "far")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn spill_only_queue_jumps_cursor() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(100), 1);
+        q.push(SimTime::from_secs(100), 2);
+        q.push(SimTime::from_secs(200), 3);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(100)));
+        assert_eq!(q.pop(), Some((SimTime::from_secs(100), 1)));
+        assert_eq!(q.pop(), Some((SimTime::from_secs(100), 2)));
+        assert_eq!(q.pop(), Some((SimTime::from_secs(200), 3)));
+    }
+
+    #[test]
+    fn interleaved_push_pop() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(1), 1);
+        q.push(SimTime::from_secs(4), 4);
+        assert_eq!(q.pop().unwrap().1, 1);
+        q.push(q.now() + SimDuration::from_secs(1), 2);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 4);
+    }
+
     proptest! {
         /// Pop order is always non-decreasing in time, regardless of push order.
         #[test]
@@ -231,16 +573,67 @@ mod tests {
             };
             prop_assert_eq!(build(), build());
         }
-    }
 
-    #[test]
-    fn interleaved_push_pop() {
-        let mut q = EventQueue::new();
-        q.push(SimTime::from_secs(1), 1);
-        q.push(SimTime::from_secs(4), 4);
-        assert_eq!(q.pop().unwrap().1, 1);
-        q.push(q.now() + SimDuration::from_secs(1), 2);
-        assert_eq!(q.pop().unwrap().1, 2);
-        assert_eq!(q.pop().unwrap().1, 4);
+        /// The wheel's pop stream is identical to the heap oracle's under
+        /// random push/pop interleavings: same `(time, payload)` pairs, same
+        /// clamping of past events, same `peek_time`. Timestamps span far
+        /// past the wheel horizon so the spill heap is exercised, and are
+        /// coarsened so same-timestamp collisions are common.
+        #[test]
+        fn prop_wheel_matches_heap(
+            ops in proptest::collection::vec((0u8..4, 0u64..6_000_000_000), 1..300),
+        ) {
+            let mut wheel = EventQueue::new();
+            let mut heap = HeapEventQueue::new();
+            for (i, (op, t)) in ops.iter().enumerate() {
+                if *op == 3 {
+                    prop_assert_eq!(wheel.pop(), heap.pop());
+                } else {
+                    // Coarsen to 1 ms grid for timestamp collisions.
+                    let at = SimTime::from_nanos(t / 1_000_000 * 1_000_000);
+                    wheel.push(at, i);
+                    heap.push(at, i);
+                }
+                prop_assert_eq!(wheel.peek_time(), heap.peek_time());
+                prop_assert_eq!(wheel.len(), heap.len());
+                prop_assert_eq!(wheel.now(), heap.now());
+            }
+            loop {
+                let (a, b) = (wheel.pop(), heap.pop());
+                prop_assert_eq!(&a, &b);
+                if a.is_none() {
+                    break;
+                }
+            }
+            prop_assert_eq!(wheel.pushed_total(), heap.pushed_total());
+            prop_assert_eq!(wheel.popped_total(), heap.popped_total());
+        }
+
+        /// Dense nanosecond-scale traffic (every level-0 path): the wheel
+        /// matches the oracle with many same-bucket and adjacent-bucket
+        /// events, including pushes that clamp to `now` mid-drain.
+        #[test]
+        fn prop_wheel_matches_heap_dense(
+            ops in proptest::collection::vec((0u8..3, 0u64..4_096), 1..300),
+        ) {
+            let mut wheel = EventQueue::new();
+            let mut heap = HeapEventQueue::new();
+            for (i, (op, t)) in ops.iter().enumerate() {
+                if *op == 2 {
+                    prop_assert_eq!(wheel.pop(), heap.pop());
+                } else {
+                    let at = SimTime::from_nanos(*t);
+                    wheel.push(at, i);
+                    heap.push(at, i);
+                }
+            }
+            loop {
+                let (a, b) = (wheel.pop(), heap.pop());
+                prop_assert_eq!(&a, &b);
+                if a.is_none() {
+                    break;
+                }
+            }
+        }
     }
 }

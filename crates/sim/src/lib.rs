@@ -22,11 +22,13 @@
 //!   sequence number, so pop order is a pure function of push order.
 
 pub mod event;
+pub mod hash;
 pub mod metrics;
 pub mod rate;
 pub mod rng;
 pub mod time;
 
-pub use event::EventQueue;
+pub use event::{EventQueue, HeapEventQueue};
+pub use hash::{FxHashMap, FxHashSet};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

@@ -199,6 +199,31 @@ impl Histogram {
         }
     }
 
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Observations below 1.0 (kept outside the decade buckets).
+    pub fn zero_count(&self) -> u64 {
+        self.zero_count
+    }
+
+    /// Non-empty buckets as `(decade, sub_bucket, count)` triples, in
+    /// ascending value order — a compact, loss-free dump of the histogram
+    /// shape for serialization.
+    pub fn nonzero_buckets(&self) -> Vec<(usize, usize, u64)> {
+        let mut out = Vec::new();
+        for (d, row) in self.buckets.iter().enumerate() {
+            for (s, &n) in row.iter().enumerate() {
+                if n > 0 {
+                    out.push((d, s, n));
+                }
+            }
+        }
+        out
+    }
+
     /// Approximate quantile `q` in `[0, 1]`. Returns 0 for empty histograms.
     pub fn quantile(&self, q: f64) -> f64 {
         if self.count == 0 {

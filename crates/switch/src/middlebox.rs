@@ -12,8 +12,7 @@
 //! (Fig. 8) prevents.
 
 use scotch_net::{FlowKey, IpAddr, Packet, PacketKind};
-use std::collections::HashMap;
-use std::collections::HashSet;
+use scotch_sim::{FxHashMap, FxHashSet};
 
 /// Outcome of a middlebox processing a packet.
 #[derive(Debug, Clone, PartialEq)]
@@ -35,7 +34,7 @@ impl MbVerdict {
 /// packets of flows it has state for (either direction).
 #[derive(Debug, Clone, Default)]
 pub struct StatefulFirewall {
-    established: HashSet<FlowKey>,
+    established: FxHashSet<FlowKey>,
     /// Flows admitted.
     pub admitted: u64,
     /// Mid-flow packets rejected for missing state.
@@ -81,7 +80,7 @@ pub struct LoadBalancer {
     /// The virtual IP this balancer fronts.
     pub vip: IpAddr,
     backends: Vec<IpAddr>,
-    pinned: HashMap<FlowKey, IpAddr>,
+    pinned: FxHashMap<FlowKey, IpAddr>,
     /// Mid-flow packets rejected for missing state.
     pub rejected: u64,
 }
@@ -93,7 +92,7 @@ impl LoadBalancer {
         LoadBalancer {
             vip,
             backends,
-            pinned: HashMap::new(),
+            pinned: FxHashMap::default(),
             rejected: 0,
         }
     }

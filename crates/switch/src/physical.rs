@@ -15,7 +15,7 @@ use scotch_net::{NodeId, Packet, PortId};
 use scotch_openflow::messages::{FlowStat, GroupModCommand, OfError};
 use scotch_openflow::{
     Action, ControllerToSwitch, FlowModCommand, GroupTable, PacketInReason, Pipeline,
-    PipelineVerdict, SwitchToController, TableId,
+    SwitchToController, TableId,
 };
 use scotch_sim::rate::Ewma;
 use scotch_sim::{SimDuration, SimRng, SimTime};
@@ -46,6 +46,10 @@ pub struct PhysicalSwitch {
     data_rate: Ewma,
     rng: SimRng,
     stats: SwitchStats,
+    /// Reusable per-packet action scratch (steady-state zero allocation).
+    action_buf: Vec<Action>,
+    /// Reusable scratch for group-selected actions.
+    group_buf: Vec<Action>,
 }
 
 impl PhysicalSwitch {
@@ -61,6 +65,8 @@ impl PhysicalSwitch {
             rng,
             profile,
             stats: SwitchStats::default(),
+            action_buf: Vec::new(),
+            group_buf: Vec::new(),
         }
     }
 
@@ -114,25 +120,55 @@ impl PhysicalSwitch {
     }
 
     /// Process a data-plane packet arriving on `in_port`.
+    ///
+    /// Convenience wrapper over [`PhysicalSwitch::handle_packet_into`]
+    /// (tests and one-shot callers; the simulation loop reuses a buffer).
     pub fn handle_packet(&mut self, now: SimTime, in_port: PortId, packet: Packet) -> Vec<Output> {
-        if self.interaction_drops(now) {
-            self.stats.dropped_interaction += 1;
-            return vec![Output::Dropped {
-                reason: DropReason::DataPlaneOverload,
-                packet,
-            }];
-        }
-        match self.pipeline.process(now, &packet, in_port) {
-            PipelineVerdict::Miss => self.punt_to_controller(now, in_port, packet),
-            PipelineVerdict::Actions(actions) => {
-                self.execute_actions(now, in_port, packet, &actions, 0)
-            }
-        }
+        let mut out = Vec::new();
+        self.handle_packet_into(now, in_port, packet, &mut out);
+        out
     }
 
-    fn punt_to_controller(&mut self, now: SimTime, in_port: PortId, packet: Packet) -> Vec<Output> {
+    /// Process a data-plane packet, appending outputs to `out` (the hot
+    /// path: no per-packet allocation with a reused buffer).
+    pub fn handle_packet_into(
+        &mut self,
+        now: SimTime,
+        in_port: PortId,
+        packet: Packet,
+        out: &mut Vec<Output>,
+    ) {
+        if self.interaction_drops(now) {
+            self.stats.dropped_interaction += 1;
+            out.push(Output::Dropped {
+                reason: DropReason::DataPlaneOverload,
+                packet,
+            });
+            return;
+        }
+        // Run the pipeline into the reusable scratch buffer: no per-packet
+        // allocation on the forwarding path.
+        let mut actions = std::mem::take(&mut self.action_buf);
+        let matched = self
+            .pipeline
+            .process_into(now, &packet, in_port, &mut actions);
+        if matched {
+            self.execute_actions(now, in_port, packet, &actions, 0, out);
+        } else {
+            self.punt_to_controller(now, in_port, packet, out);
+        }
+        self.action_buf = actions;
+    }
+
+    fn punt_to_controller(
+        &mut self,
+        now: SimTime,
+        in_port: PortId,
+        packet: Packet,
+        out: &mut Vec<Output>,
+    ) {
         match self.ofa.offer_packet_in(now) {
-            Some(at) => vec![Output::ToController {
+            Some(at) => out.push(Output::ToController {
                 at,
                 msg: SwitchToController::PacketIn {
                     packet,
@@ -141,13 +177,13 @@ impl PhysicalSwitch {
                     via_tunnel: None,
                     ingress_label: None,
                 },
-            }],
+            }),
             None => {
                 self.stats.dropped_ofa += 1;
-                vec![Output::Dropped {
+                out.push(Output::Dropped {
                     reason: DropReason::OfaOverload,
                     packet,
-                }]
+                });
             }
         }
     }
@@ -159,20 +195,20 @@ impl PhysicalSwitch {
         packet: Packet,
         actions: &[Action],
         depth: u8,
-    ) -> Vec<Output> {
-        let mut outputs = Vec::new();
+        out: &mut Vec<Output>,
+    ) {
         let mut pkt = packet;
         for action in actions {
             match action {
                 Action::Output(p) => {
                     self.stats.forwarded += 1;
-                    outputs.push(Output::Forward {
+                    out.push(Output::Forward {
                         out_port: *p,
-                        packet: pkt.clone(),
+                        packet: pkt,
                     });
                 }
                 Action::ToController => {
-                    outputs.extend(self.punt_to_controller(now, in_port, pkt.clone()));
+                    self.punt_to_controller(now, in_port, pkt, out);
                 }
                 Action::PushLabel(l) => pkt.push_label(*l),
                 Action::PopLabel => {
@@ -180,40 +216,40 @@ impl PhysicalSwitch {
                 }
                 Action::Drop => {
                     self.stats.dropped_other += 1;
-                    outputs.push(Output::Dropped {
+                    out.push(Output::Dropped {
                         reason: DropReason::Policy,
-                        packet: pkt.clone(),
+                        packet: pkt,
                     });
-                    return outputs;
+                    return;
                 }
                 Action::Group(g) => {
                     // One level of group indirection (OpenFlow forbids
                     // group→group chains on most hardware; Scotch needs one
                     // level only).
                     if depth == 0 {
-                        match self.groups.select(*g, &pkt.key) {
-                            Some(acts) => {
-                                outputs.extend(self.execute_actions(
-                                    now,
-                                    in_port,
-                                    pkt.clone(),
-                                    &acts,
-                                    1,
-                                ));
+                        let mut acts = std::mem::take(&mut self.group_buf);
+                        acts.clear();
+                        let found = match self.groups.select(*g, &pkt.key) {
+                            Some(chosen) => {
+                                acts.extend_from_slice(chosen);
+                                true
                             }
-                            None => {
-                                self.stats.dropped_other += 1;
-                                outputs.push(Output::Dropped {
-                                    reason: DropReason::NoRoute,
-                                    packet: pkt.clone(),
-                                });
-                            }
+                            None => false,
+                        };
+                        if found {
+                            self.execute_actions(now, in_port, pkt, &acts, 1, out);
+                        } else {
+                            self.stats.dropped_other += 1;
+                            out.push(Output::Dropped {
+                                reason: DropReason::NoRoute,
+                                packet: pkt,
+                            });
                         }
+                        self.group_buf = acts;
                     }
                 }
             }
         }
-        outputs
     }
 
     /// Process a controller message arriving over the control channel.

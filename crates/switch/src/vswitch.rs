@@ -55,6 +55,10 @@ pub struct VSwitch {
     /// When true the vSwitch is failed: it forwards nothing and answers no
     /// heartbeats (§5.6 failure experiments).
     pub failed: bool,
+    /// Reusable per-packet action scratch (steady-state zero allocation).
+    action_buf: Vec<Action>,
+    /// Reusable scratch for group-selected actions.
+    group_buf: Vec<Action>,
 }
 
 impl VSwitch {
@@ -76,6 +80,8 @@ impl VSwitch {
             profile,
             stats: VSwitchStats::default(),
             failed: false,
+            action_buf: Vec::new(),
+            group_buf: Vec::new(),
         }
     }
 
@@ -113,25 +119,42 @@ impl VSwitch {
         &mut self,
         now: SimTime,
         in_port: PortId,
-        mut packet: Packet,
+        packet: Packet,
         terminates_tunnel: bool,
     ) -> Vec<Output> {
+        let mut out = Vec::new();
+        self.handle_packet_into(now, in_port, packet, terminates_tunnel, &mut out);
+        out
+    }
+
+    /// Process a data-plane packet, appending outputs to `out` (the hot
+    /// path: no per-packet allocation with a reused buffer).
+    pub fn handle_packet_into(
+        &mut self,
+        now: SimTime,
+        in_port: PortId,
+        mut packet: Packet,
+        terminates_tunnel: bool,
+        out: &mut Vec<Output>,
+    ) {
         if self.failed {
             self.stats.dropped_dataplane += 1;
-            return vec![Output::Dropped {
+            out.push(Output::Dropped {
                 reason: DropReason::NoRoute,
                 packet,
-            }];
+            });
+            return;
         }
         // Software data plane: per-packet CPU cost.
         match self.dataplane.offer(now, self.dataplane_service) {
             Admission::Accepted { .. } => {}
             Admission::Rejected => {
                 self.stats.dropped_dataplane += 1;
-                return vec![Output::Dropped {
+                out.push(Output::Dropped {
                     reason: DropReason::DataPlaneOverload,
                     packet,
-                }];
+                });
+                return;
             }
         }
 
@@ -151,23 +174,31 @@ impl VSwitch {
             }
         }
 
-        match self.table.match_packet(now, &packet, in_port) {
+        // Copy the matched entry's actions into the reusable scratch
+        // buffer (actions are `Copy`): no per-packet allocation, and the
+        // table borrow ends before `execute_actions` needs `&mut self`.
+        let mut actions = std::mem::take(&mut self.action_buf);
+        actions.clear();
+        let matched = match self.table.match_packet(now, &packet, in_port) {
             Some(entry) => {
-                let actions: Vec<Action> = entry
-                    .instructions
-                    .iter()
-                    .filter_map(|i| match i {
-                        scotch_openflow::Instruction::Apply(a) => Some(a.clone()),
-                        scotch_openflow::Instruction::GotoTable(_) => None,
-                    })
-                    .flatten()
-                    .collect();
-                self.execute_actions(now, in_port, packet, &actions, 0)
+                for inst in &entry.instructions {
+                    if let scotch_openflow::Instruction::Apply(a) = inst {
+                        actions.extend_from_slice(a);
+                    }
+                }
+                true
             }
-            None => self.punt_to_controller(now, in_port, packet, via_tunnel, ingress_label),
+            None => false,
+        };
+        if matched {
+            self.execute_actions(now, in_port, packet, &actions, 0, out);
+        } else {
+            self.punt_to_controller(now, in_port, packet, via_tunnel, ingress_label, out);
         }
+        self.action_buf = actions;
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn punt_to_controller(
         &mut self,
         now: SimTime,
@@ -175,9 +206,10 @@ impl VSwitch {
         packet: Packet,
         via_tunnel: Option<TunnelId>,
         ingress_label: Option<u16>,
-    ) -> Vec<Output> {
+        out: &mut Vec<Output>,
+    ) {
         match self.ofa.offer_packet_in(now) {
-            Some(at) => vec![Output::ToController {
+            Some(at) => out.push(Output::ToController {
                 at,
                 msg: SwitchToController::PacketIn {
                     packet,
@@ -186,13 +218,13 @@ impl VSwitch {
                     via_tunnel,
                     ingress_label,
                 },
-            }],
+            }),
             None => {
                 self.stats.dropped_agent += 1;
-                vec![Output::Dropped {
+                out.push(Output::Dropped {
                     reason: DropReason::OfaOverload,
                     packet,
-                }]
+                });
             }
         }
     }
@@ -204,52 +236,56 @@ impl VSwitch {
         packet: Packet,
         actions: &[Action],
         depth: u8,
-    ) -> Vec<Output> {
-        let mut outputs = Vec::new();
+        out: &mut Vec<Output>,
+    ) {
         let mut pkt = packet;
         for action in actions {
             match action {
                 Action::Output(p) => {
                     self.stats.forwarded += 1;
-                    outputs.push(Output::Forward {
+                    out.push(Output::Forward {
                         out_port: *p,
-                        packet: pkt.clone(),
+                        packet: pkt,
                     });
                 }
                 Action::ToController => {
-                    outputs.extend(self.punt_to_controller(now, in_port, pkt.clone(), None, None));
+                    self.punt_to_controller(now, in_port, pkt, None, None, out);
                 }
                 Action::PushLabel(l) => pkt.push_label(*l),
                 Action::PopLabel => {
                     pkt.pop_label();
                 }
                 Action::Drop => {
-                    outputs.push(Output::Dropped {
+                    out.push(Output::Dropped {
                         reason: DropReason::Policy,
-                        packet: pkt.clone(),
+                        packet: pkt,
                     });
-                    return outputs;
+                    return;
                 }
                 Action::Group(g) => {
                     if depth == 0 {
-                        match self.groups.select(*g, &pkt.key) {
-                            Some(acts) => outputs.extend(self.execute_actions(
-                                now,
-                                in_port,
-                                pkt.clone(),
-                                &acts,
-                                1,
-                            )),
-                            None => outputs.push(Output::Dropped {
+                        let mut acts = std::mem::take(&mut self.group_buf);
+                        acts.clear();
+                        let found = match self.groups.select(*g, &pkt.key) {
+                            Some(chosen) => {
+                                acts.extend_from_slice(chosen);
+                                true
+                            }
+                            None => false,
+                        };
+                        if found {
+                            self.execute_actions(now, in_port, pkt, &acts, 1, out);
+                        } else {
+                            out.push(Output::Dropped {
                                 reason: DropReason::NoRoute,
-                                packet: pkt.clone(),
-                            }),
+                                packet: pkt,
+                            });
                         }
+                        self.group_buf = acts;
                     }
                 }
             }
         }
-        outputs
     }
 
     /// Process a controller message. A failed vSwitch is silent (heartbeat
