@@ -51,6 +51,29 @@ impl FlowInfoDatabase {
         FlowInfoDatabase::default()
     }
 
+    /// An empty database pre-sized for about `flows` concurrent flows.
+    ///
+    /// The database only holds *active* flows (entries are removed when
+    /// their rules time out), so the right hint is
+    /// `expected arrival rate × rule idle timeout`, not total flows over a
+    /// run. Pre-sizing avoids rehash-and-move churn while a DDoS surge
+    /// grows the table.
+    pub fn with_capacity(flows: usize) -> Self {
+        FlowInfoDatabase {
+            flows: FxHashMap::with_capacity_and_hasher(flows, Default::default()),
+        }
+    }
+
+    /// Reserve room for at least `additional` more flows.
+    pub fn reserve(&mut self, additional: usize) {
+        self.flows.reserve(additional);
+    }
+
+    /// Allocated capacity (≥ len).
+    pub fn capacity(&self) -> usize {
+        self.flows.capacity()
+    }
+
     /// Record a newly seen flow. Returns `true` if it was genuinely new.
     /// An existing record is left untouched (retransmitted first packets
     /// must not reset provenance).
@@ -147,6 +170,27 @@ mod tests {
             sport: n,
             dport: 80,
         }
+    }
+
+    #[test]
+    fn with_capacity_presizes() {
+        let mut db = FlowInfoDatabase::with_capacity(1000);
+        assert!(db.capacity() >= 1000);
+        assert!(db.is_empty());
+        let before = db.capacity();
+        for n in 0..500 {
+            db.record(
+                key(n),
+                NodeId(1),
+                PortId(0),
+                SimTime::ZERO,
+                FlowPath::Overlay,
+            );
+        }
+        // No rehash while filling within the hint.
+        assert_eq!(db.capacity(), before);
+        db.reserve(5000);
+        assert!(db.capacity() >= 5500);
     }
 
     #[test]

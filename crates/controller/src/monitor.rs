@@ -53,6 +53,18 @@ impl PacketInMonitor {
     pub fn total(&self, switch: NodeId) -> u64 {
         self.meters.get(&switch).map(|m| m.total()).unwrap_or(0)
     }
+
+    /// Lifetime Packet-In totals per switch, sorted by node id — a
+    /// deterministic view over the hash map for metrics export.
+    pub fn totals(&self) -> Vec<(NodeId, u64)> {
+        let mut out: Vec<(NodeId, u64)> = self
+            .meters
+            .iter()
+            .map(|(&node, m)| (node, m.total()))
+            .collect();
+        out.sort_by_key(|&(node, _)| node);
+        out
+    }
 }
 
 /// Liveness tracking for vSwitches via Echo request/reply.

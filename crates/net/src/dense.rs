@@ -112,7 +112,6 @@ impl<T> NodeMap<T> {
     pub fn id_bound(&self) -> u32 {
         self.slots.len() as u32
     }
-
 }
 
 impl<T> IntoIterator for NodeMap<T> {

@@ -177,6 +177,36 @@ pub enum ControllerToSwitch {
     },
 }
 
+impl SwitchToController {
+    /// Stable snake_case message-kind name, used as the metrics-registry
+    /// key for per-message-type counters (`controller.rx.<kind>`).
+    pub const fn kind_name(&self) -> &'static str {
+        match self {
+            SwitchToController::PacketIn { .. } => "packet_in",
+            SwitchToController::FlowRemoved { .. } => "flow_removed",
+            SwitchToController::FlowStatsReply { .. } => "flow_stats_reply",
+            SwitchToController::EchoReply { .. } => "echo_reply",
+            SwitchToController::BarrierReply { .. } => "barrier_reply",
+            SwitchToController::Error { .. } => "error",
+        }
+    }
+}
+
+impl ControllerToSwitch {
+    /// Stable snake_case message-kind name, used as the metrics-registry
+    /// key for per-message-type counters (`controller.tx.<kind>`).
+    pub const fn kind_name(&self) -> &'static str {
+        match self {
+            ControllerToSwitch::FlowMod { .. } => "flow_mod",
+            ControllerToSwitch::GroupMod { .. } => "group_mod",
+            ControllerToSwitch::PacketOut { .. } => "packet_out",
+            ControllerToSwitch::FlowStatsRequest => "flow_stats_request",
+            ControllerToSwitch::EchoRequest { .. } => "echo_request",
+            ControllerToSwitch::Barrier { .. } => "barrier",
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

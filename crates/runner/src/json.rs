@@ -47,6 +47,46 @@ impl Json {
         out
     }
 
+    /// Render on a single line with no whitespace (JSONL records).
+    pub fn compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Num(v) => write_num(out, *v),
+            Json::Str(s) => write_str(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_str(out, key);
+                    out.push(':');
+                    value.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write(&self, out: &mut String, indent: usize) {
         match self {
             Json::Null => out.push_str("null"),
@@ -204,6 +244,15 @@ mod tests {
         s.clear();
         write_num(&mut s, f64::NAN);
         assert_eq!(s, "null");
+    }
+
+    #[test]
+    fn compact_renders_one_line() {
+        let doc = Json::obj()
+            .set("seq", 7u64)
+            .set("items", Json::Arr(vec![Json::Num(1.0), Json::Null]))
+            .set("kind", "a b");
+        assert_eq!(doc.compact(), r#"{"seq":7,"items":[1,null],"kind":"a b"}"#);
     }
 
     #[test]

@@ -31,6 +31,13 @@ pub fn build<T>(sweep: &Sweep<T>, with_timing: bool) -> Json {
                 .set("status", if r.outcome.is_ok() { "ok" } else { "panicked" })
                 .set("units", r.units)
                 .set("kpis", kpis);
+            if !r.metrics.is_empty() {
+                let mut metrics = Json::obj();
+                for (name, value) in &r.metrics {
+                    metrics = metrics.set(name, *value);
+                }
+                job = job.set("metrics", metrics);
+            }
             if let Err(message) = &r.outcome {
                 job = job.set("panic", message.as_str());
             }

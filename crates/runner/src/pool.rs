@@ -22,6 +22,7 @@ pub struct JobCtx {
     pub seed: u64,
     units: u64,
     kpis: Vec<(String, f64)>,
+    metrics: Vec<(String, f64)>,
 }
 
 impl JobCtx {
@@ -36,6 +37,23 @@ impl JobCtx {
     /// instead.
     pub fn kpi(&mut self, name: &str, value: f64) {
         self.kpis.push((name.to_string(), value));
+    }
+
+    /// Record one entry of the run's full metrics-registry snapshot.
+    ///
+    /// Where KPIs are the handful of curated headline numbers, this channel
+    /// carries the complete flattened registry so archived `results/` runs
+    /// are comparable in every dimension without re-running. Same
+    /// determinism rule as KPIs: values must be pure in `(job, seed)`.
+    pub fn metric(&mut self, name: &str, value: f64) {
+        self.metrics.push((name.to_string(), value));
+    }
+
+    /// Record a whole metrics snapshot (an iterator of `(name, value)`).
+    pub fn metrics_snapshot<'a>(&mut self, entries: impl IntoIterator<Item = (&'a str, f64)>) {
+        for (name, value) in entries {
+            self.metric(name, value);
+        }
     }
 }
 
@@ -77,6 +95,8 @@ pub struct JobResult<T> {
     pub units: u64,
     /// KPIs reported via [`JobCtx::kpi`].
     pub kpis: Vec<(String, f64)>,
+    /// Full metrics-registry snapshot reported via [`JobCtx::metric`].
+    pub metrics: Vec<(String, f64)>,
 }
 
 impl<T> JobResult<T> {
@@ -293,6 +313,7 @@ fn execute<T>(job: Job<T>) -> JobResult<T> {
         seed,
         units: 0,
         kpis: Vec::new(),
+        metrics: Vec::new(),
     };
     let begun = Instant::now();
     let outcome = catch_unwind(AssertUnwindSafe(|| work(&mut ctx))).map_err(|payload| {
@@ -311,5 +332,6 @@ fn execute<T>(job: Job<T>) -> JobResult<T> {
         outcome,
         units: ctx.units,
         kpis: ctx.kpis,
+        metrics: ctx.metrics,
     }
 }

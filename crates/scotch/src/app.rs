@@ -32,6 +32,7 @@ use scotch_openflow::{
     Action, Bucket, ControllerToSwitch, FlowEntry, FlowModCommand, GroupEntry, GroupId,
     Instruction, Match, SwitchToController, TableId,
 };
+use scotch_sim::trace::{RebalanceReason, TraceEvent, TraceRecorder};
 use scotch_sim::{FxHashMap, FxHashSet};
 use scotch_sim::{SimDuration, SimTime};
 
@@ -101,6 +102,39 @@ pub struct AppStats {
     pub overlay_undeliverable: u64,
 }
 
+impl AppStats {
+    /// Register these counters into a [`scotch_sim::MetricsRegistry`] under
+    /// `<prefix>.<field>` — the unified export surface for reports and
+    /// sweep manifests.
+    pub fn register_metrics(&self, prefix: &str, reg: &mut scotch_sim::MetricsRegistry) {
+        reg.add(&format!("{prefix}.packet_ins"), self.packet_ins);
+        reg.add(
+            &format!("{prefix}.duplicate_packet_ins"),
+            self.duplicate_packet_ins,
+        );
+        reg.add(
+            &format!("{prefix}.physical_admitted"),
+            self.physical_admitted,
+        );
+        reg.add(&format!("{prefix}.overlay_admitted"), self.overlay_admitted);
+        reg.add(&format!("{prefix}.dropped"), self.dropped);
+        reg.add(&format!("{prefix}.unroutable"), self.unroutable);
+        reg.add(&format!("{prefix}.activations"), self.activations);
+        reg.add(&format!("{prefix}.withdrawals"), self.withdrawals);
+        reg.add(&format!("{prefix}.migrations"), self.migrations);
+        reg.add(
+            &format!("{prefix}.migrations_deferred"),
+            self.migrations_deferred,
+        );
+        reg.add(&format!("{prefix}.failovers"), self.failovers);
+        reg.add(&format!("{prefix}.rule_failures"), self.rule_failures);
+        reg.add(
+            &format!("{prefix}.overlay_undeliverable"),
+            self.overlay_undeliverable,
+        );
+    }
+}
+
 #[derive(Debug, Clone)]
 struct SwitchCtl {
     scheduler: RuleScheduler,
@@ -108,6 +142,9 @@ struct SwitchCtl {
     below_since: Option<SimTime>,
     /// Ports labelled at activation (to delete at withdrawal).
     labelled_ports: Vec<PortId>,
+    /// Last enqueue outcome was over a threshold (shed or drop) — used to
+    /// trace threshold *crossings* rather than every shed flow.
+    over_threshold: bool,
 }
 
 /// The Scotch controller application.
@@ -149,6 +186,9 @@ pub struct ScotchApp {
     /// Flows sitting in ingress queues (for duplicate-Packet-In detection).
     pending: FxHashSet<FlowKey>,
     stats: AppStats,
+    /// Flight recorder for control-plane decisions. Disabled by default;
+    /// a disabled recorder costs one branch per site (DESIGN.md §10).
+    pub trace: TraceRecorder,
 }
 
 impl ScotchApp {
@@ -179,7 +219,18 @@ impl ScotchApp {
             cookie_keys: Vec::new(),
             pending: FxHashSet::default(),
             stats: AppStats::default(),
+            trace: TraceRecorder::disabled(),
         }
+    }
+
+    /// Pre-size the per-flow state for about `flows` concurrent flows
+    /// (`expected arrival rate × rule idle timeout`, derived from the
+    /// workload spec by `Scenario`). Avoids rehash churn while a surge
+    /// grows the flow database.
+    pub fn reserve_flow_capacity(&mut self, flows: usize) {
+        self.flowdb.reserve(flows);
+        self.pending.reserve(flows.min(1 << 16));
+        self.cookie_keys.reserve(flows);
     }
 
     /// Register a physical switch with its safe rule budget `R`.
@@ -197,6 +248,7 @@ impl ScotchApp {
                 active: false,
                 below_since: None,
                 labelled_ports: Vec::new(),
+                over_threshold: false,
             },
         );
     }
@@ -298,6 +350,15 @@ impl ScotchApp {
             .get(&switch)
             .map(|s| s.scheduler.ingress_backlog())
             .unwrap_or(0)
+    }
+
+    /// Total scheduler backlog summed over every registered switch
+    /// (sampled periodically into the metrics registry).
+    pub fn total_backlog(&self) -> usize {
+        self.switches
+            .values()
+            .map(|s| s.scheduler.ingress_backlog())
+            .sum()
     }
 
     /// Scheduler statistics at a switch.
@@ -414,7 +475,17 @@ impl ScotchApp {
         // Setup-race duplicate: the flow is known (or waiting in an
         // ingress queue); relay the packet directly — the real controller
         // buffers these.
-        if self.flowdb.get(&packet.key).is_some() || self.pending.contains(&packet.key) {
+        let duplicate =
+            self.flowdb.get(&packet.key).is_some() || self.pending.contains(&packet.key);
+        self.trace.record(
+            now,
+            TraceEvent::PacketInEmitted {
+                switch: origin.0,
+                via_overlay: via_tunnel.is_some(),
+                duplicate,
+            },
+        );
+        if duplicate {
             self.stats.duplicate_packet_ins += 1;
             return self.deliver_direct(topo, &packet);
         }
@@ -446,7 +517,24 @@ impl ScotchApp {
                     return self.admit_physical(now, topo, pf);
                 };
                 let key = pf.key;
-                match ctl.scheduler.enqueue_flow(pf) {
+                let (outcome, shed) = ctl.scheduler.enqueue_flow(pf);
+                // Trace threshold *crossings* (not every shed flow): the
+                // transition from under-threshold service to shedding or
+                // dropping is the interesting control-plane decision.
+                let was_over = ctl.over_threshold;
+                ctl.over_threshold = !matches!(outcome, EnqueueOutcome::Queued);
+                if ctl.over_threshold && !was_over {
+                    let backlog = ctl.scheduler.ingress_backlog() as u32;
+                    self.trace.record(
+                        now,
+                        TraceEvent::QueueThresholdCrossed {
+                            switch: origin.0,
+                            backlog,
+                            dropping: matches!(outcome, EnqueueOutcome::Dropped),
+                        },
+                    );
+                }
+                match (outcome, shed) {
                     (EnqueueOutcome::Queued, _) => {
                         self.pending.insert(key);
                         Vec::new()
@@ -456,6 +544,8 @@ impl ScotchApp {
                     }
                     (EnqueueOutcome::Dropped, _) => {
                         self.stats.dropped += 1;
+                        self.trace
+                            .record(now, TraceEvent::FlowDropped { switch: origin.0 });
                         Vec::new()
                     }
                     (EnqueueOutcome::RouteOnOverlay, None) => unreachable!(),
@@ -615,6 +705,13 @@ impl ScotchApp {
         self.flowdb
             .record(pf.key, pf.origin, pf.origin_port, now, FlowPath::Physical);
         self.stats.physical_admitted += 1;
+        self.trace.record(
+            now,
+            TraceEvent::FlowAdmitted {
+                switch: pf.origin.0,
+                via_overlay: false,
+            },
+        );
         out
     }
 
@@ -762,6 +859,13 @@ impl ScotchApp {
         self.flowdb
             .record(pf.key, pf.origin, pf.origin_port, now, FlowPath::Overlay);
         self.stats.overlay_admitted += 1;
+        self.trace.record(
+            now,
+            TraceEvent::FlowAdmitted {
+                switch: pf.origin.0,
+                via_overlay: true,
+            },
+        );
         out
     }
 
@@ -791,6 +895,13 @@ impl ScotchApp {
         let hot = self.direct_monitor.rate(info.first_hop, now) > self.config.activation_threshold;
         if hot {
             self.stats.migrations_deferred += 1;
+            self.trace.record(
+                now,
+                TraceEvent::FlowMigrated {
+                    switch: info.first_hop.0,
+                    deferred: true,
+                },
+            );
             if let Some(ctl) = self.switches.get_mut(&info.first_hop) {
                 ctl.scheduler.push_migration(job);
             }
@@ -836,6 +947,13 @@ impl ScotchApp {
         }
         self.flowdb.mark_migrated(&job.key);
         self.stats.migrations += 1;
+        self.trace.record(
+            now,
+            TraceEvent::FlowMigrated {
+                switch: info.first_hop.0,
+                deferred: false,
+            },
+        );
         out
     }
 
@@ -853,7 +971,9 @@ impl ScotchApp {
         // number of routing entries in the physical switches by routing
         // short flows over the overlay" (§2). Evicted flows fall onto the
         // overlay default path installed right below.
-        if self.tcam_monitor.rate(switch, now) > self.config.tcam_activation_threshold {
+        let tcam_triggered =
+            self.tcam_monitor.rate(switch, now) > self.config.tcam_activation_threshold;
+        if tcam_triggered {
             for t in [TableId(0), TableId(1)] {
                 out.push(Command::new(
                     switch,
@@ -897,6 +1017,7 @@ impl ScotchApp {
         if buckets.is_empty() {
             return out; // no overlay reachable from this switch
         }
+        let bucket_count = buckets.len() as u32;
         out.push(Command::new(
             switch,
             ControllerToSwitch::GroupMod {
@@ -950,6 +1071,22 @@ impl ScotchApp {
             ctl.labelled_ports = labelled;
         }
         self.stats.activations += 1;
+        self.trace.record(
+            now,
+            TraceEvent::OverlayActivated {
+                switch: switch.0,
+                buckets: bucket_count,
+                tcam_triggered,
+            },
+        );
+        self.trace.record(
+            now,
+            TraceEvent::GroupRebalanced {
+                switch: switch.0,
+                buckets: bucket_count,
+                reason: RebalanceReason::Activation,
+            },
+        );
         out
     }
 
@@ -1012,6 +1149,18 @@ impl ScotchApp {
             },
         ));
 
+        let pinned = deferred
+            .iter()
+            .filter(|c| {
+                matches!(
+                    c.msg,
+                    ControllerToSwitch::FlowMod {
+                        command: FlowModCommand::Add(_),
+                        ..
+                    }
+                )
+            })
+            .count() as u32;
         if let Some(ctl) = self.switches.get_mut(&switch) {
             for cmd in deferred {
                 ctl.scheduler.push_admitted(cmd);
@@ -1021,6 +1170,13 @@ impl ScotchApp {
             ctl.labelled_ports.clear();
         }
         self.stats.withdrawals += 1;
+        self.trace.record(
+            now,
+            TraceEvent::OverlayWithdrawn {
+                switch: switch.0,
+                pinned,
+            },
+        );
         Vec::new()
     }
 
@@ -1048,6 +1204,13 @@ impl ScotchApp {
                     self.overlay.wire_mesh_tunnels(topo, r);
                 }
                 self.stats.failovers += 1;
+                self.trace.record(
+                    now,
+                    TraceEvent::FailoverExecuted {
+                        dead: dead.0,
+                        replacement: replacement.map(|r| r.0).unwrap_or(u32::MAX),
+                    },
+                );
                 let switches: Vec<NodeId> = self.switches.keys().copied().collect();
                 for s in switches {
                     if !self.is_active(s) {
@@ -1057,18 +1220,29 @@ impl ScotchApp {
                         Some(_) => {
                             // Rebuild the whole group with the promoted
                             // backup's tunnel. Simplest correct GroupMod.
-                            out.extend(self.rebuild_group(topo, s));
+                            out.extend(self.rebuild_group(now, topo, s, RebalanceReason::Failover));
                         }
-                        None => out.push(Command::new(
-                            s,
-                            ControllerToSwitch::GroupMod {
-                                group: GroupId(s.0),
-                                command: GroupModCommand::SetBucketAlive {
-                                    bucket,
-                                    alive: false,
+                        None => {
+                            out.push(Command::new(
+                                s,
+                                ControllerToSwitch::GroupMod {
+                                    group: GroupId(s.0),
+                                    command: GroupModCommand::SetBucketAlive {
+                                        bucket,
+                                        alive: false,
+                                    },
                                 },
-                            },
-                        )),
+                            ));
+                            let live = self.overlay.alive.iter().filter(|a| **a).count() as u32;
+                            self.trace.record(
+                                now,
+                                TraceEvent::GroupRebalanced {
+                                    switch: s.0,
+                                    buckets: live,
+                                    reason: RebalanceReason::Failover,
+                                },
+                            );
+                        }
                     }
                 }
                 if let Some(r) = replacement {
@@ -1141,7 +1315,13 @@ impl ScotchApp {
         out
     }
 
-    fn rebuild_group(&mut self, topo: &Topology, switch: NodeId) -> Vec<Command> {
+    fn rebuild_group(
+        &mut self,
+        now: SimTime,
+        topo: &Topology,
+        switch: NodeId,
+        reason: RebalanceReason,
+    ) -> Vec<Command> {
         // Rebuild LB tunnels for the new mesh membership, then re-install
         // the group.
         let mesh = self.overlay.mesh.clone();
@@ -1183,6 +1363,14 @@ impl ScotchApp {
             b.alive = *self.overlay.alive.get(i).unwrap_or(&true);
             buckets.push(b);
         }
+        self.trace.record(
+            now,
+            TraceEvent::GroupRebalanced {
+                switch: switch.0,
+                buckets: buckets.len() as u32,
+                reason,
+            },
+        );
         vec![Command::new(
             switch,
             ControllerToSwitch::GroupMod {
@@ -1205,13 +1393,15 @@ impl ScotchApp {
         }
         self.overlay.add_mesh_vswitch(topo, v);
         self.heartbeats.register(v, now);
+        self.trace
+            .record(now, TraceEvent::VSwitchJoined { node: v.0 });
         let mut out = Vec::new();
         let switches: Vec<NodeId> = self.switches.keys().copied().collect();
         for s in switches {
             // Rebuilding lays the switch's tunnel to the new vSwitch either
             // way; only active switches need the GroupMod sent now (an
             // inactive switch gets a fresh group at its next activation).
-            let cmds = self.rebuild_group(topo, s);
+            let cmds = self.rebuild_group(now, topo, s, RebalanceReason::Join);
             if self.is_active(s) {
                 out.extend(cmds);
             }
@@ -1226,6 +1416,8 @@ impl ScotchApp {
         if self.mode == ControllerMode::Baseline {
             return;
         }
+        self.trace
+            .record(now, TraceEvent::VSwitchRecovered { node: node.0 });
         if let Some(idx) = self.overlay.bucket_of(node) {
             // Still holds its bucket (it failed with no backup available):
             // revive it in place.

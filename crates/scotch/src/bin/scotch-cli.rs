@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! scotch-cli [OPTIONS]
+//! scotch-cli trace [OPTIONS] [TRACE OPTIONS]
 //! scotch-cli sweep [SWEEP OPTIONS]
 //! scotch-cli bench hotpath [BENCH OPTIONS]
 //!
@@ -40,6 +41,17 @@
 //!   --quiet             suppress per-job progress lines
 //! ```
 //!
+//! Trace (flight-recorder dump of one run; accepts every top-level
+//! scenario/workload/control option above, plus):
+//!   --out <FILE>        write JSONL here instead of stdout
+//!   --filter <CATS>     comma-separated categories to keep
+//!                       (overlay,queue,flow,rule,packet_in,group,health)
+//!   --verbose           record per-flow events too (admissions, drops,
+//!                       rule installs, Packet-Ins)
+//!   --capacity <N>      trace ring capacity in records   (default: 65536)
+//!   --limit <N>         emit only the first N records     (default: all)
+//!   --summary           print per-category/per-kind counts to stderr
+//!
 //! Bench (single-process hot-path throughput on a fixed scenario set):
 //!   --out <FILE>        where to write the fresh numbers
 //!                       (default: BENCH_hotpath.fresh.json)
@@ -48,6 +60,10 @@
 //!   --label <NAME>      run label recorded in the JSON      (default: dev)
 //!   --iters <N>         iterations per scenario, best wall time wins
 //!                       (default: 3)
+//!   --profile           per-event-type dispatch-cost histograms (wall
+//!                       clock, observability-only)
+//!   --trace-overhead    measure tracing disabled vs enabled at the
+//!                       default level; warn if overhead exceeds 5%
 //!   --quiet             suppress per-scenario progress lines
 //!
 //! `sweep` fans each `(scenario, seed)` pair out on the work-stealing
@@ -57,6 +73,7 @@
 
 use scotch::app::ControllerMode;
 use scotch::scenario::Scenario;
+use scotch_sim::trace::{TraceCategory, TraceConfig, TraceLevel};
 use scotch_sim::SimDuration;
 use scotch_sim::SimTime;
 
@@ -223,6 +240,175 @@ fn build_scenario(o: &Options) -> Scenario {
     s
 }
 
+/// Parsed trace-specific flags (everything else is forwarded to
+/// [`parse_args`]).
+#[derive(Debug, Clone, PartialEq)]
+struct TraceOptions {
+    out: Option<String>,
+    filter: Option<String>,
+    verbose: bool,
+    capacity: usize,
+    limit: usize,
+    summary: bool,
+}
+
+impl Default for TraceOptions {
+    fn default() -> Self {
+        TraceOptions {
+            out: None,
+            filter: None,
+            verbose: false,
+            capacity: 65_536,
+            limit: 0,
+            summary: false,
+        }
+    }
+}
+
+/// Split a `trace` command line into trace flags and scenario flags.
+fn parse_trace_args(args: &[String]) -> Result<(TraceOptions, Vec<String>), String> {
+    let mut t = TraceOptions::default();
+    let mut rest = Vec::new();
+    let mut i = 0;
+    let next = |i: &mut usize| -> Result<String, String> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("missing value after {}", args[*i - 1]))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => t.out = Some(next(&mut i)?),
+            "--filter" => t.filter = Some(next(&mut i)?),
+            "--verbose" => t.verbose = true,
+            "--capacity" => {
+                t.capacity = next(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--capacity: {e}"))?;
+                if t.capacity == 0 {
+                    return Err("--capacity must be at least 1".into());
+                }
+            }
+            "--limit" => t.limit = next(&mut i)?.parse().map_err(|e| format!("--limit: {e}"))?,
+            "--summary" => t.summary = true,
+            other => rest.push(other.to_string()),
+        }
+        i += 1;
+    }
+    Ok((t, rest))
+}
+
+/// Resolve a [`TraceConfig`] from the parsed trace flags: `--verbose`
+/// raises every category to Verbose, `--filter` silences everything not
+/// listed.
+fn trace_config(t: &TraceOptions) -> Result<TraceConfig, String> {
+    let mut config = if t.verbose {
+        TraceConfig::verbose()
+    } else {
+        TraceConfig::default()
+    };
+    config = config.with_capacity(t.capacity);
+    if let Some(filter) = &t.filter {
+        let mut keep = [false; scotch_sim::trace::TRACE_CATEGORIES];
+        for name in filter.split(',').filter(|s| !s.is_empty()) {
+            let cat = TraceCategory::from_name(name.trim())
+                .ok_or_else(|| format!("--filter: unknown category '{name}'"))?;
+            keep[cat.index()] = true;
+        }
+        for cat in TraceCategory::ALL {
+            if !keep[cat.index()] {
+                config = config.with_level(cat, TraceLevel::Off);
+            }
+        }
+    }
+    Ok(config)
+}
+
+fn trace_main(args: &[String]) -> i32 {
+    let usage = || {
+        eprintln!("usage: scotch-cli trace [SCENARIO OPTIONS] [--out FILE] [--filter CATS]");
+        eprintln!("                        [--verbose] [--capacity N] [--limit N] [--summary]");
+    };
+    let (topts, rest) = match parse_trace_args(args) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            usage();
+            return 2;
+        }
+    };
+    let opts = match parse_args(&rest) {
+        Ok(o) => o,
+        Err(e) => {
+            if e != "help" {
+                eprintln!("error: {e}\n");
+            }
+            usage();
+            return if e == "help" { 0 } else { 2 };
+        }
+    };
+    let config = match trace_config(&topts) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+
+    let horizon = SimTime::from_secs_f64(opts.duration);
+    let sim = build_scenario(&opts)
+        .with_tracing(config)
+        .build_until(opts.seed, horizon);
+    let report = sim.run(horizon);
+
+    let jsonl = report.trace_jsonl();
+    let emitted: String = if topts.limit > 0 {
+        jsonl
+            .lines()
+            .take(topts.limit)
+            .map(|l| format!("{l}\n"))
+            .collect()
+    } else {
+        jsonl
+    };
+    match &topts.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &emitted) {
+                eprintln!("error: failed to write {path}: {e}");
+                return 1;
+            }
+            eprintln!(
+                "wrote {} trace record(s) to {path}",
+                emitted.lines().count()
+            );
+        }
+        None => print!("{emitted}"),
+    }
+
+    if topts.summary {
+        let records = report.trace.records();
+        let mut by_kind: Vec<(&'static str, &'static str, u64)> = Vec::new();
+        for rec in &records {
+            let kind = rec.event.kind_name();
+            match by_kind.iter_mut().find(|(k, _, _)| *k == kind) {
+                Some((_, _, n)) => *n += 1,
+                None => by_kind.push((kind, rec.event.category().name(), 1)),
+            }
+        }
+        by_kind.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(b.0)));
+        eprintln!(
+            "trace summary: {} recorded, {} overwritten (ring capacity {})",
+            report.trace.total_recorded(),
+            report.trace.dropped(),
+            topts.capacity
+        );
+        for (kind, cat, n) in by_kind {
+            eprintln!("  {n:>8}  {kind} [{cat}]");
+        }
+    }
+    0
+}
+
 /// Parsed `sweep` subcommand line.
 #[derive(Debug, Clone, PartialEq)]
 struct SweepOptions {
@@ -342,7 +528,7 @@ fn sweep_jobs(o: &SweepOptions) -> Vec<scotch_runner::Job<()>> {
                 format!("{scenario}/s{seed}"),
                 seed,
                 move |ctx: &mut scotch_runner::JobCtx| {
-                    let report = build_scenario(&base).build(seed).run(horizon);
+                    let report = build_scenario(&base).run(horizon, seed);
                     ctx.add_units(report.events_processed);
                     ctx.kpi("flows", report.flows.len() as f64);
                     ctx.kpi("client_failure", report.client_failure_fraction());
@@ -356,6 +542,15 @@ fn sweep_jobs(o: &SweepOptions) -> Vec<scotch_runner::Job<()>> {
                     ctx.kpi("physical_admitted", report.app.physical_admitted as f64);
                     ctx.kpi("overlay_admitted", report.app.overlay_admitted as f64);
                     ctx.kpi("activations", report.app.activations as f64);
+                    // Full metrics-registry snapshot into the manifest, so
+                    // archived runs are comparable in every dimension.
+                    ctx.metrics_snapshot(
+                        report
+                            .metrics
+                            .entries
+                            .iter()
+                            .map(|(name, value)| (name.as_str(), *value)),
+                    );
                 },
             ));
         }
@@ -417,6 +612,8 @@ struct BenchOptions {
     baseline: Option<String>,
     label: String,
     iters: u32,
+    profile: bool,
+    trace_overhead: bool,
     quiet: bool,
 }
 
@@ -427,6 +624,8 @@ impl Default for BenchOptions {
             baseline: None,
             label: "dev".into(),
             iters: 3,
+            profile: false,
+            trace_overhead: false,
             quiet: false,
         }
     }
@@ -447,6 +646,8 @@ fn parse_bench_args(args: &[String]) -> Result<BenchOptions, String> {
             "--baseline" => o.baseline = Some(next(&mut i)?),
             "--label" => o.label = next(&mut i)?,
             "--iters" => o.iters = next(&mut i)?.parse().map_err(|e| format!("--iters: {e}"))?,
+            "--profile" => o.profile = true,
+            "--trace-overhead" => o.trace_overhead = true,
             "--quiet" => o.quiet = true,
             "--help" | "-h" => return Err("help".into()),
             other => return Err(format!("unknown bench option {other}")),
@@ -520,7 +721,7 @@ fn run_hotpath(iters: u32, quiet: bool) -> Vec<BenchResult> {
     for (name, make, horizon) in hotpath_scenarios() {
         let mut best: Option<(u64, f64)> = None; // (events, wall)
         for _ in 0..iters {
-            let sim = make().build(HOTPATH_SEED);
+            let sim = make().build_until(HOTPATH_SEED, horizon);
             let start = std::time::Instant::now();
             let report = sim.run(horizon);
             let wall = start.elapsed().as_secs_f64();
@@ -661,11 +862,71 @@ fn bench_main(args: &[String]) -> i32 {
             Err(e) => eprintln!("warning: cannot read baseline {path}: {e}"),
         }
     }
+
+    if opts.profile {
+        eprintln!("dispatch-cost profile (wall clock; observability-only, never golden):");
+        for (name, make, horizon) in hotpath_scenarios() {
+            let mut sim = make().build_until(HOTPATH_SEED, horizon);
+            sim.enable_profiling();
+            let report = sim.run(horizon);
+            eprintln!("{name}:");
+            eprintln!(
+                "  {:<18} {:>10} {:>9} {:>9} {:>9} {:>10}",
+                "event", "count", "mean_ns", "p50_ns", "p99_ns", "total_ms"
+            );
+            for e in &report.profile {
+                eprintln!(
+                    "  {:<18} {:>10} {:>9.0} {:>9.0} {:>9.0} {:>10.2}",
+                    e.name,
+                    e.count,
+                    e.mean_ns,
+                    e.p50_ns,
+                    e.p99_ns,
+                    e.total_ns / 1e6
+                );
+            }
+        }
+    }
+
+    if opts.trace_overhead {
+        eprintln!("tracing overhead (disabled vs enabled at the default level):");
+        let mut worst: f64 = 0.0;
+        for (name, make, horizon) in hotpath_scenarios() {
+            let off = best_wall(&*make, horizon, opts.iters, false);
+            let on = best_wall(&*make, horizon, opts.iters, true);
+            let pct = (on / off.max(1e-9) - 1.0) * 100.0;
+            worst = worst.max(pct);
+            eprintln!("  {name}: {off:.3}s off, {on:.3}s on ({pct:+.1}%)");
+        }
+        if worst > 5.0 {
+            eprintln!("warning: tracing overhead {worst:.1}% exceeds the 5% budget");
+        }
+    }
     0
+}
+
+/// Best-of-`iters` wall time for one bench scenario, with tracing off or
+/// at the default level.
+fn best_wall(make: &dyn Fn() -> Scenario, horizon: SimTime, iters: u32, tracing: bool) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let mut s = make();
+        if tracing {
+            s = s.with_tracing(TraceConfig::default());
+        }
+        let sim = s.build_until(HOTPATH_SEED, horizon);
+        let start = std::time::Instant::now();
+        let _ = sim.run(horizon);
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("trace") {
+        std::process::exit(trace_main(&args[1..]));
+    }
     if args.first().map(String::as_str) == Some("sweep") {
         std::process::exit(sweep_main(&args[1..]));
     }
@@ -683,7 +944,8 @@ fn main() {
         }
     };
 
-    let mut sim = build_scenario(&opts).build(opts.seed);
+    let horizon = SimTime::from_secs_f64(opts.duration);
+    let mut sim = build_scenario(&opts).build_until(opts.seed, horizon);
     let pcap_node = opts.pcap.as_ref().and_then(|(name, _)| {
         let found = (0..sim.topo.node_count() as u32)
             .map(scotch_net::NodeId)
@@ -696,7 +958,6 @@ fn main() {
         found
     });
 
-    let horizon = SimTime::from_secs_f64(opts.duration);
     let report = sim.run(horizon);
 
     if let (Some(node), Some((_, file))) = (pcap_node, opts.pcap.as_ref()) {
@@ -816,6 +1077,76 @@ mod tests {
             };
             let _sim = build_scenario(&o).build(1);
         }
+    }
+
+    fn parse_trace(s: &str) -> Result<(TraceOptions, Vec<String>), String> {
+        let args: Vec<String> = s.split_whitespace().map(String::from).collect();
+        parse_trace_args(&args)
+    }
+
+    #[test]
+    fn trace_flags_split_from_scenario_flags() {
+        let (t, rest) = parse_trace(
+            "--scenario single --attack 500 --out t.jsonl --filter overlay,queue \
+             --verbose --capacity 1024 --limit 50 --summary",
+        )
+        .unwrap();
+        assert_eq!(t.out.as_deref(), Some("t.jsonl"));
+        assert_eq!(t.filter.as_deref(), Some("overlay,queue"));
+        assert!(t.verbose);
+        assert_eq!(t.capacity, 1024);
+        assert_eq!(t.limit, 50);
+        assert!(t.summary);
+        // Scenario flags pass through untouched, in order.
+        assert_eq!(rest, vec!["--scenario", "single", "--attack", "500"]);
+        let o = parse_args(&rest).unwrap();
+        assert_eq!(o.scenario, "single");
+        assert_eq!(o.attack, Some(500.0));
+    }
+
+    #[test]
+    fn trace_config_filter_silences_unlisted_categories() {
+        let (t, _) = parse_trace("--filter overlay,health").unwrap();
+        let config = trace_config(&t).unwrap();
+        assert_eq!(
+            config.levels[TraceCategory::Overlay.index()],
+            TraceLevel::Brief
+        );
+        assert_eq!(
+            config.levels[TraceCategory::Health.index()],
+            TraceLevel::Brief
+        );
+        assert_eq!(config.levels[TraceCategory::Flow.index()], TraceLevel::Off);
+        assert_eq!(config.levels[TraceCategory::Queue.index()], TraceLevel::Off);
+    }
+
+    #[test]
+    fn trace_config_verbose_raises_kept_categories() {
+        let (t, _) = parse_trace("--verbose --filter flow").unwrap();
+        let config = trace_config(&t).unwrap();
+        assert_eq!(
+            config.levels[TraceCategory::Flow.index()],
+            TraceLevel::Verbose
+        );
+        assert_eq!(
+            config.levels[TraceCategory::Overlay.index()],
+            TraceLevel::Off
+        );
+    }
+
+    #[test]
+    fn trace_rejects_bad_input() {
+        assert!(parse_trace("--capacity 0").is_err());
+        assert!(parse_trace("--out").is_err());
+        let (t, _) = parse_trace("--filter bogus").unwrap();
+        assert!(trace_config(&t).is_err());
+    }
+
+    #[test]
+    fn bench_profile_and_overhead_flags() {
+        let o = parse_bench("--profile --trace-overhead").unwrap();
+        assert!(o.profile);
+        assert!(o.trace_overhead);
     }
 
     fn parse_sweep(s: &str) -> Result<SweepOptions, String> {

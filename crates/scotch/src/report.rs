@@ -3,7 +3,8 @@
 use crate::app::AppStats;
 use scotch_net::NodeId;
 use scotch_sim::metrics::Histogram;
-use scotch_sim::{SimDuration, SimTime};
+use scotch_sim::trace::TraceRecorder;
+use scotch_sim::{MetricsSnapshot, ProfileEntry, SimDuration, SimTime};
 use scotch_switch::ofa::OfaStats;
 use scotch_switch::physical::SwitchStats;
 use scotch_switch::vswitch::VSwitchStats;
@@ -142,6 +143,18 @@ pub struct Report {
     /// libpcap captures of tapped nodes (see
     /// [`crate::Simulation::capture_at`]).
     pub captures: scotch_sim::FxHashMap<NodeId, crate::pcap::PcapCapture>,
+    /// Name-sorted snapshot of the unified metrics registry. NOT part of
+    /// [`Report::canonical_json`] — golden fixtures pin the canonical
+    /// report, the registry is the wider observability surface around it.
+    pub metrics: MetricsSnapshot,
+    /// The flight-recorder trace ring (empty when tracing was disabled).
+    /// Timestamps are sim-time, so the trace is bit-reproducible per
+    /// `(scenario, seed)`. Also excluded from the canonical report.
+    pub trace: TraceRecorder,
+    /// Per-event-type wall-clock dispatch profile, non-empty only when
+    /// [`crate::Simulation::enable_profiling`] was called. Wall-clock ⇒
+    /// machine-dependent ⇒ never in the canonical report.
+    pub profile: Vec<ProfileEntry>,
 }
 
 impl Report {
@@ -430,6 +443,38 @@ impl Report {
             .set("tracked", Json::Arr(tracked))
             .set("captures", Json::Arr(captures))
             .pretty()
+    }
+
+    /// Render the recorded trace as JSONL: one compact object per record
+    /// with `seq`, `t_ns`, `cat`, `kind`, then the event's own fields.
+    /// Deterministic per `(scenario, seed)`: sim-time timestamps only.
+    pub fn trace_jsonl(&self) -> String {
+        use scotch_runner::Json;
+        let mut out = String::new();
+        for rec in self.trace.records() {
+            let mut line = Json::obj()
+                .set("seq", rec.seq)
+                .set("t_ns", rec.at.as_nanos())
+                .set("cat", rec.event.category().name())
+                .set("kind", rec.event.kind_name());
+            for (name, value) in rec.event.fields() {
+                line = line.set(name, value);
+            }
+            out.push_str(&line.compact());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The metrics snapshot as a flat JSON object, sorted by name (the
+    /// form embedded in sweep manifests and `results/` artifacts).
+    pub fn metrics_json(&self) -> String {
+        use scotch_runner::Json;
+        let mut doc = Json::obj();
+        for (name, value) in &self.metrics.entries {
+            doc = doc.set(name, *value);
+        }
+        doc.pretty()
     }
 
     /// A one-paragraph human summary.

@@ -14,6 +14,7 @@ use crate::report::Report;
 use crate::sim::Simulation;
 use scotch_controller::AddressBook;
 use scotch_net::{FlowKey, IpAddr, LinkSpec, NodeId, NodeKind, Topology};
+use scotch_sim::trace::{TraceConfig, TraceRecorder};
 use scotch_sim::{SimDuration, SimRng, SimTime};
 use scotch_switch::middlebox::{Middlebox, StatefulFirewall};
 use scotch_switch::{PhysicalSwitch, SwitchProfile, VSwitch};
@@ -99,6 +100,7 @@ pub struct Scenario {
     join_vswitch: Option<(usize, SimTime)>,
     link_loss: f64,
     horizon: SimTime,
+    tracing: Option<TraceConfig>,
 }
 
 impl Scenario {
@@ -122,6 +124,7 @@ impl Scenario {
             join_vswitch: None,
             link_loss: 0.0,
             horizon: SimTime::from_secs(3600),
+            tracing: None,
         }
     }
 
@@ -146,6 +149,7 @@ impl Scenario {
             join_vswitch: None,
             link_loss: 0.0,
             horizon: SimTime::from_secs(3600),
+            tracing: None,
         }
     }
 
@@ -301,6 +305,43 @@ impl Scenario {
         self
     }
 
+    /// Builder: enable the flight-recorder trace with `config` (levels +
+    /// ring capacity). Timestamps are sim-time, so the trace is
+    /// bit-reproducible per `(scenario, seed)`. Distinct from
+    /// [`Scenario::with_trace`], which attaches a trace-replay *workload*.
+    pub fn with_tracing(mut self, config: TraceConfig) -> Self {
+        self.tracing = Some(config);
+        self
+    }
+
+    /// Expected concurrent flowdb population: total arrival rate times the
+    /// entry lifetime — the rule idle timeout (entries live until their
+    /// rules idle out), clamped by the run horizon when known so short
+    /// smoke runs don't reserve a table several times larger than they can
+    /// ever fill (an oversized map costs cache misses on every lookup).
+    /// Used to pre-size the controller's flow state (capped — the hint is
+    /// an optimization, not a commitment).
+    fn expected_flow_count(&self, horizon_secs: f64) -> usize {
+        let mut rate = 0.0;
+        if let Some(a) = &self.attack {
+            rate += a.rate;
+        }
+        if let Some(c) = &self.clients {
+            rate += c.rate;
+        }
+        if let Some(r) = self.trace_rate {
+            rate += r;
+        }
+        let lifetime = self
+            .config
+            .rule_idle_timeout
+            .as_secs_f64()
+            .min(horizon_secs);
+        let expected = rate * lifetime;
+        let elephants = self.elephants.map(|e| e.count).unwrap_or(0);
+        ((expected as usize) + elephants).min(1 << 22)
+    }
+
     /// Client address.
     pub fn client_ip() -> IpAddr {
         IpAddr::new(10, 0, 0, 1)
@@ -318,19 +359,42 @@ impl Scenario {
 
     /// Build the simulation. Deterministic in `(self, seed)`.
     pub fn build(self, seed: u64) -> Simulation {
-        match self.kind {
+        self.build_for(seed, f64::INFINITY)
+    }
+
+    /// Build the simulation for a run that will stop at `until`: identical
+    /// to [`Scenario::build`] except the flowdb capacity hint is clamped by
+    /// the horizon (a 2 s smoke run should not reserve 10 s worth of
+    /// flows).
+    pub fn build_until(self, seed: u64, until: SimTime) -> Simulation {
+        let horizon = until.as_nanos() as f64 / 1e9;
+        self.build_for(seed, horizon)
+    }
+
+    fn build_for(self, seed: u64, horizon_secs: f64) -> Simulation {
+        let tracing = self.tracing.clone();
+        let flow_hint = self.expected_flow_count(horizon_secs);
+        let mut sim = match self.kind {
             TopoKind::SingleSwitch => self.build_single_switch(seed),
             TopoKind::Datacenter => self.build_datacenter(seed),
             TopoKind::MultiRack {
                 racks,
                 mesh_per_rack,
             } => self.build_multirack(racks, mesh_per_rack, seed),
+        };
+        if let Some(config) = tracing {
+            sim.app.trace = TraceRecorder::new(config);
         }
+        if flow_hint > 0 {
+            sim.app.reserve_flow_capacity(flow_hint);
+        }
+        sim
     }
 
-    /// Build and run until `until`.
+    /// Build and run until `until` (via [`Scenario::build_until`], so the
+    /// flowdb capacity hint is horizon-clamped).
     pub fn run(self, until: SimTime, seed: u64) -> Report {
-        self.build(seed).run(until)
+        self.build_until(seed, until).run(until)
     }
 
     fn data_link(&self) -> LinkSpec {

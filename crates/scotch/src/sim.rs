@@ -11,9 +11,10 @@ use crate::app::{ControllerMode, ScotchApp};
 use crate::report::{DropCounts, FlowOutcome, Report, SwitchReport, VSwitchReport};
 use scotch_controller::Command;
 use scotch_net::{IpAddr, Label, NodeId, NodeKind, NodeMap, Packet, PortId, Topology};
-use scotch_openflow::{ControllerToSwitch, SwitchToController};
+use scotch_openflow::{ControllerToSwitch, FlowModCommand, SwitchToController};
 use scotch_sim::metrics::Histogram;
-use scotch_sim::{EventQueue, FxHashMap, SimDuration, SimTime};
+use scotch_sim::trace::{TraceEvent, TraceRecorder};
+use scotch_sim::{DispatchProfiler, EventQueue, FxHashMap, MetricsRegistry, SimDuration, SimTime};
 use scotch_switch::middlebox::{MbVerdict, Middlebox};
 use scotch_switch::{DropReason, Output, PhysicalSwitch, VSwitch};
 use scotch_workload::{FlowArrival, FlowSource, FlowSpec};
@@ -66,6 +67,90 @@ enum Event {
     /// Scripted recovery of a previously failed vSwitch (§5.6).
     RecoverVSwitch { node: NodeId },
 }
+
+/// Display names for [`Event`] variants, indexed by [`Event::kind`] — the
+/// row labels of the dispatch-cost profile.
+const EVENT_KIND_NAMES: [&str; 13] = [
+    "arrive",
+    "emit_packet",
+    "source_next",
+    "ctrl_from_switch",
+    "ctrl_processed",
+    "ctrl_to_switch",
+    "controller_tick",
+    "stats_poll",
+    "heartbeat",
+    "expiry_sweep",
+    "fail_vswitch",
+    "join_vswitch",
+    "recover_vswitch",
+];
+
+impl Event {
+    /// Dense variant index (matches [`EVENT_KIND_NAMES`]).
+    fn kind(&self) -> usize {
+        match self {
+            Event::Arrive { .. } => 0,
+            Event::EmitPacket { .. } => 1,
+            Event::SourceNext { .. } => 2,
+            Event::CtrlFromSwitch { .. } => 3,
+            Event::CtrlProcessed { .. } => 4,
+            Event::CtrlToSwitch { .. } => 5,
+            Event::ControllerTick => 6,
+            Event::StatsPoll => 7,
+            Event::Heartbeat => 8,
+            Event::ExpirySweep => 9,
+            Event::FailVSwitch { .. } => 10,
+            Event::JoinVSwitch { .. } => 11,
+            Event::RecoverVSwitch { .. } => 12,
+        }
+    }
+}
+
+/// Dense index for [`ControllerToSwitch`] message kinds (see
+/// [`ControllerToSwitch::kind_name`]), used for the per-message-type
+/// command counters exported through the metrics registry.
+fn ctrl_tx_kind(msg: &ControllerToSwitch) -> usize {
+    match msg {
+        ControllerToSwitch::FlowMod { .. } => 0,
+        ControllerToSwitch::GroupMod { .. } => 1,
+        ControllerToSwitch::PacketOut { .. } => 2,
+        ControllerToSwitch::FlowStatsRequest => 3,
+        ControllerToSwitch::EchoRequest { .. } => 4,
+        ControllerToSwitch::Barrier { .. } => 5,
+    }
+}
+
+const CTRL_TX_KIND_NAMES: [&str; 6] = [
+    "flow_mod",
+    "group_mod",
+    "packet_out",
+    "flow_stats_request",
+    "echo_request",
+    "barrier",
+];
+
+/// Dense index for [`SwitchToController`] message kinds (see
+/// [`SwitchToController::kind_name`]).
+fn ctrl_rx_kind(msg: &SwitchToController) -> usize {
+    match msg {
+        SwitchToController::PacketIn { .. } => 0,
+        SwitchToController::FlowRemoved { .. } => 1,
+        SwitchToController::FlowStatsReply { .. } => 2,
+        SwitchToController::EchoReply { .. } => 3,
+        SwitchToController::BarrierReply { .. } => 4,
+        SwitchToController::Error { .. } => 5,
+    }
+}
+
+const CTRL_RX_KIND_NAMES: [&str; 6] = [
+    "packet_in",
+    "flow_removed",
+    "flow_stats_reply",
+    "echo_reply",
+    "barrier_reply",
+    "error",
+];
 
 /// Dense flow-id → record-index map. `FlowId` encodes `stream << 48 | seq`
 /// with both halves handed out contiguously by `FlowIdAllocator`, so two
@@ -144,6 +229,20 @@ pub struct Simulation {
     /// instead of one `Vec<Output>` per packet event.
     out_buf: Vec<Output>,
     sweep_interval: SimDuration,
+    /// Unified metrics registry: periodic series are sampled during the
+    /// run, everything else is populated from the stats structs at report
+    /// time (so hot-path increments stay plain `+= 1`s).
+    registry: MetricsRegistry,
+    /// Optional wall-clock dispatch-cost profiler (`bench hotpath
+    /// --profile`). Never enabled on golden-report paths.
+    profiler: Option<DispatchProfiler>,
+    /// Controller→switch messages sent, by message kind (dense arrays on
+    /// the dispatch path; exported as `controller.tx.<kind>` at report
+    /// time).
+    ctrl_tx: [u64; 6],
+    /// Switch→controller messages received, by message kind
+    /// (`controller.rx.<kind>`).
+    ctrl_rx: [u64; 6],
 }
 
 impl Simulation {
@@ -176,7 +275,18 @@ impl Simulation {
             misrouted: 0,
             out_buf: Vec::new(),
             sweep_interval: SimDuration::from_secs(1),
+            registry: MetricsRegistry::new(),
+            profiler: None,
+            ctrl_tx: [0; 6],
+            ctrl_rx: [0; 6],
         }
+    }
+
+    /// Turn on per-event-type wall-clock dispatch profiling. The profile is
+    /// observability-only output ([`Report::profile`]); it never feeds the
+    /// canonical report, so enabling it cannot perturb golden fixtures.
+    pub fn enable_profiling(&mut self) {
+        self.profiler = Some(DispatchProfiler::new(EVENT_KIND_NAMES.to_vec()));
     }
 
     /// Attach a physical switch device at its node.
@@ -267,6 +377,23 @@ impl Simulation {
 
     fn dispatch_commands(&mut self, now: SimTime, commands: Vec<Command>) {
         for cmd in commands {
+            self.ctrl_tx[ctrl_tx_kind(&cmd.msg)] += 1;
+            if self.app.trace.is_enabled() {
+                if let ControllerToSwitch::FlowMod {
+                    table,
+                    command: FlowModCommand::Add(entry),
+                } = &cmd.msg
+                {
+                    self.app.trace.record(
+                        now,
+                        TraceEvent::RuleInstalled {
+                            switch: cmd.to.0,
+                            table: table.0 as u32,
+                            priority: entry.priority as u32,
+                        },
+                    );
+                }
+            }
             let at = now + self.control_latency(cmd.to);
             self.events.push(
                 at,
@@ -495,28 +622,37 @@ impl Simulation {
                 break;
             }
             processed += 1;
+            // The profiler is `None` on every measured path; the stamp is a
+            // single well-predicted branch per event when disabled.
+            let prof = self
+                .profiler
+                .as_ref()
+                .map(|_| (ev.kind(), std::time::Instant::now()));
             match ev {
                 Event::Arrive { node, port, packet } => self.on_arrive(now, node, port, packet),
                 Event::EmitPacket { flow_idx, seq } => self.on_emit(now, flow_idx, seq),
                 Event::SourceNext { source_idx } => self.on_source_next(source_idx),
-                Event::CtrlFromSwitch { from, msg } => match &mut self.controller_gate {
-                    Some((server, service)) => match server.offer(now, *service) {
-                        scotch_sim::rate::Admission::Accepted { departs_at } => {
-                            self.events
-                                .push(departs_at, Event::CtrlProcessed { from, msg });
+                Event::CtrlFromSwitch { from, msg } => {
+                    self.ctrl_rx[ctrl_rx_kind(&msg)] += 1;
+                    match &mut self.controller_gate {
+                        Some((server, service)) => match server.offer(now, *service) {
+                            scotch_sim::rate::Admission::Accepted { departs_at } => {
+                                self.events
+                                    .push(departs_at, Event::CtrlProcessed { from, msg });
+                            }
+                            scotch_sim::rate::Admission::Rejected => {
+                                self.controller_dropped += 1;
+                            }
+                        },
+                        None => {
+                            let cmds = {
+                                let topo = &self.topo;
+                                self.app.handle_switch_msg(now, topo, from, *msg)
+                            };
+                            self.dispatch_commands(now, cmds);
                         }
-                        scotch_sim::rate::Admission::Rejected => {
-                            self.controller_dropped += 1;
-                        }
-                    },
-                    None => {
-                        let cmds = {
-                            let topo = &self.topo;
-                            self.app.handle_switch_msg(now, topo, from, *msg)
-                        };
-                        self.dispatch_commands(now, cmds);
                     }
-                },
+                }
                 Event::CtrlProcessed { from, msg } => {
                     let cmds = {
                         let topo = &self.topo;
@@ -569,6 +705,20 @@ impl Simulation {
                             self.handle_outputs(now, n, &mut outs);
                         }
                     }
+                    // Once-per-sweep (1 Hz sim-time) gauge sampling: cheap,
+                    // deterministic, and off the per-packet path entirely.
+                    self.registry.sample(
+                        "controller.flowdb.size",
+                        now,
+                        self.app.flowdb.len() as f64,
+                    );
+                    self.registry.sample(
+                        "controller.backlog",
+                        now,
+                        self.app.total_backlog() as f64,
+                    );
+                    self.registry
+                        .sample("sim.event_queue.len", now, self.events.len() as f64);
                     self.events
                         .push(now + self.sweep_interval, Event::ExpirySweep);
                 }
@@ -591,12 +741,17 @@ impl Simulation {
                     self.app.recover_vswitch(now, node);
                 }
             }
+            if let Some((kind, t0)) = prof {
+                if let Some(p) = self.profiler.as_mut() {
+                    p.record(kind, t0.elapsed().as_nanos() as f64);
+                }
+            }
         }
 
         self.into_report(until, processed)
     }
 
-    fn into_report(self, until: SimTime, events_processed: u64) -> Report {
+    fn into_report(mut self, until: SimTime, events_processed: u64) -> Report {
         let mut drops = self.drops;
         drops.link_queue += self.topo.total_link_drops();
         drops.link_faults = self.topo.total_link_faults();
@@ -622,6 +777,58 @@ impl Simulation {
             .collect();
 
         let middlebox_rejections = self.middleboxes.values().map(|m| m.rejected()).sum();
+
+        // Populate the unified registry from the per-component stats
+        // structs. They stay the hot-path increment sites; the registry is
+        // the one external, name-sorted surface over all of them.
+        let mut reg = std::mem::take(&mut self.registry);
+        self.app.stats().register_metrics("app", &mut reg);
+        for s in &switches {
+            s.ofa
+                .register_metrics(&format!("switch.{}.ofa", s.name), &mut reg);
+            s.dataplane
+                .register_metrics(&format!("switch.{}.dataplane", s.name), &mut reg);
+        }
+        for v in &vswitches {
+            v.ofa
+                .register_metrics(&format!("vswitch.{}.ofa", v.name), &mut reg);
+            v.dataplane
+                .register_metrics(&format!("vswitch.{}.dataplane", v.name), &mut reg);
+        }
+        reg.add("drops.ofa_overload", drops.ofa_overload);
+        reg.add("drops.dataplane", drops.dataplane);
+        reg.add("drops.policy", drops.policy);
+        reg.add("drops.no_route", drops.no_route);
+        reg.add("drops.link_queue", drops.link_queue);
+        reg.add("drops.link_faults", drops.link_faults);
+        reg.add("controller.dropped", self.controller_dropped);
+        reg.add("middlebox.rejections", middlebox_rejections);
+        reg.add("sim.misrouted", self.misrouted);
+        reg.add("sim.events_processed", events_processed);
+        for (i, &n) in self.ctrl_tx.iter().enumerate() {
+            reg.add(&format!("controller.tx.{}", CTRL_TX_KIND_NAMES[i]), n);
+        }
+        for (i, &n) in self.ctrl_rx.iter().enumerate() {
+            reg.add(&format!("controller.rx.{}", CTRL_RX_KIND_NAMES[i]), n);
+        }
+        for (node, total) in self.app.monitor.totals() {
+            reg.add(
+                &format!("controller.packet_in.{}", self.topo.name(node)),
+                total,
+            );
+        }
+        let lat = reg.histogram("flow.latency_ns");
+        *reg.histogram_mut(lat) = self.latency.clone();
+        reg.add("trace.recorded", self.app.trace.total_recorded());
+        reg.add("trace.dropped", self.app.trace.dropped());
+        let metrics = reg.snapshot();
+
+        let profile = self
+            .profiler
+            .as_ref()
+            .map(|p| p.entries())
+            .unwrap_or_default();
+        let trace = std::mem::replace(&mut self.app.trace, TraceRecorder::disabled());
 
         Report {
             duration: until.duration_since(SimTime::ZERO),
@@ -653,6 +860,9 @@ impl Simulation {
             events_processed,
             tracked: self.tracked,
             captures: self.captures.into_iter().collect(),
+            metrics,
+            trace,
+            profile,
         }
     }
 }

@@ -1,0 +1,160 @@
+//! Golden-trace regression tests.
+//!
+//! The flight recorder's contract is that a `(scenario, seed)` pair
+//! reproduces a bit-identical trace: every event, in order, with sim-time
+//! timestamps. These tests pin that contract the same way the golden
+//! reports pin the canonical report — byte-for-byte against a committed
+//! JSONL fixture — and additionally check trace/metrics determinism across
+//! two independent runs in the same process.
+//!
+//! Regenerate the fixture (after an *intended* behaviour change only) with:
+//!
+//! ```text
+//! SCOTCH_UPDATE_GOLDEN=1 cargo test -p scotch --test golden_trace
+//! ```
+
+use scotch::scenario::Scenario;
+use scotch::Report;
+use scotch_sim::trace::{TraceConfig, TraceLevel};
+use scotch_sim::SimTime;
+
+/// Matches the bench crate's `DEFAULT_SEED` and the golden reports.
+const SEED: u64 = 20141202;
+
+fn fixture_path(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn check_golden(name: &str, got: &str) {
+    let path = fixture_path(name);
+    if std::env::var_os("SCOTCH_UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, got).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {}: {e}\n\
+             run `SCOTCH_UPDATE_GOLDEN=1 cargo test -p scotch --test golden_trace`",
+            path.display()
+        )
+    });
+    if want != got {
+        let actual = path.with_extension("actual.jsonl");
+        std::fs::write(&actual, got).unwrap();
+        let line = want
+            .lines()
+            .zip(got.lines())
+            .position(|(a, b)| a != b)
+            .map(|i| i + 1)
+            .unwrap_or_else(|| want.lines().count().min(got.lines().count()) + 1);
+        panic!(
+            "{name}: trace is not byte-identical to fixture {} \
+             (first difference at line {line}; actual saved to {})",
+            path.display(),
+            actual.display()
+        );
+    }
+}
+
+/// The small fixed scenario every trace test runs: overlay datacenter
+/// under a flood strong enough to activate the overlay, verbose tracing so
+/// per-flow events are pinned too.
+fn traced_run() -> Report {
+    Scenario::overlay_datacenter(2)
+        .with_clients(80.0)
+        .with_attack(1000.0)
+        .with_tracing(TraceConfig::verbose())
+        .run(SimTime::from_secs(2), SEED)
+}
+
+/// Pin the exact event sequence (kind, order, timestamps, payloads) of the
+/// small overlay scenario.
+#[test]
+fn overlay_trace_is_bit_identical_to_fixture() {
+    let report = traced_run();
+    assert!(
+        report.trace.total_recorded() > 0,
+        "scenario produced no trace events"
+    );
+    check_golden("scotch_eval_overlay.trace.jsonl", &report.trace_jsonl());
+}
+
+/// Two runs of the same `(scenario, seed)` must produce byte-identical
+/// traces AND byte-identical metrics snapshots.
+#[test]
+fn trace_and_metrics_are_deterministic_across_runs() {
+    let a = traced_run();
+    let b = traced_run();
+    assert_eq!(a.trace_jsonl(), b.trace_jsonl());
+    assert_eq!(a.metrics.entries, b.metrics.entries);
+    assert_eq!(a.metrics_json(), b.metrics_json());
+}
+
+/// Tracing must not perturb the simulation: the canonical report of a
+/// traced run is byte-identical to the untraced golden run.
+#[test]
+fn tracing_does_not_change_the_canonical_report() {
+    let traced = traced_run();
+    let untraced = Scenario::overlay_datacenter(2)
+        .with_clients(80.0)
+        .with_attack(1000.0)
+        .run(SimTime::from_secs(2), SEED);
+    assert_eq!(traced.canonical_json(), untraced.canonical_json());
+}
+
+/// Brief-level tracing records state transitions but not per-flow events.
+#[test]
+fn brief_level_omits_per_flow_events() {
+    let report = Scenario::overlay_datacenter(2)
+        .with_clients(80.0)
+        .with_attack(1000.0)
+        .with_tracing(TraceConfig::default())
+        .run(SimTime::from_secs(2), SEED);
+    let records = report.trace.records();
+    assert!(!records.is_empty());
+    for rec in &records {
+        assert!(
+            rec.event.level() <= TraceLevel::Brief,
+            "brief trace contains verbose event {:?}",
+            rec.event
+        );
+    }
+}
+
+/// The registry snapshot cross-checks the per-component stats structs it
+/// was populated from.
+#[test]
+fn metrics_snapshot_matches_report_counters() {
+    let report = traced_run();
+    let m = &report.metrics;
+    assert_eq!(
+        m.get("app.packet_ins"),
+        Some(report.app.packet_ins as f64),
+        "registry and AppStats disagree"
+    );
+    assert_eq!(
+        m.get("app.activations"),
+        Some(report.app.activations as f64)
+    );
+    assert_eq!(
+        m.get("flow.latency_ns.count"),
+        Some(report.latency.count() as f64)
+    );
+    let tx_total: f64 = [
+        "flow_mod",
+        "group_mod",
+        "packet_out",
+        "flow_stats_request",
+        "echo_request",
+        "barrier",
+    ]
+    .iter()
+    .map(|k| m.get(&format!("controller.tx.{k}")).unwrap_or(0.0))
+    .sum();
+    assert!(tx_total > 0.0, "no controller commands counted");
+    // Periodic gauges were sampled (2 s horizon, 1 Hz sweep).
+    assert!(m.get("controller.flowdb.size.samples").unwrap_or(0.0) >= 1.0);
+}

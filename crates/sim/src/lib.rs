@@ -25,10 +25,14 @@ pub mod event;
 pub mod hash;
 pub mod metrics;
 pub mod rate;
+pub mod registry;
 pub mod rng;
 pub mod time;
+pub mod trace;
 
 pub use event::{EventQueue, HeapEventQueue};
 pub use hash::{FxHashMap, FxHashSet};
+pub use registry::{DispatchProfiler, MetricsRegistry, MetricsSnapshot, ProfileEntry};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};
+pub use trace::{TraceCategory, TraceConfig, TraceEvent, TraceLevel, TraceRecord, TraceRecorder};

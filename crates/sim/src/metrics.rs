@@ -48,7 +48,12 @@ impl Counter {
 #[derive(Debug, Clone)]
 pub struct RateMeter {
     window: SimDuration,
-    events: VecDeque<SimTime>,
+    /// Coalesced `(timestamp, count)` entries: simultaneous events share one
+    /// entry, so memory is O(distinct timestamps in window), not O(events) —
+    /// the difference between kilobytes and gigabytes under a DDoS surge.
+    events: VecDeque<(SimTime, u64)>,
+    /// Events inside the trailing window (sum of `events` counts).
+    in_window: u64,
     /// Total events ever observed (not windowed).
     total: u64,
 }
@@ -60,6 +65,7 @@ impl RateMeter {
         RateMeter {
             window,
             events: VecDeque::new(),
+            in_window: 0,
             total: 0,
         }
     }
@@ -72,16 +78,19 @@ impl RateMeter {
     /// Record `n` simultaneous events at `now`.
     pub fn tick_n(&mut self, now: SimTime, n: u64) {
         self.total += n;
-        for _ in 0..n {
-            self.events.push_back(now);
+        self.in_window += n;
+        match self.events.back_mut() {
+            Some((t, count)) if *t == now => *count += n,
+            _ => self.events.push_back((now, n)),
         }
         self.expire(now);
     }
 
     fn expire(&mut self, now: SimTime) {
         let horizon = now.saturating_sub(self.window);
-        while let Some(&front) = self.events.front() {
+        while let Some(&(front, count)) = self.events.front() {
             if front < horizon {
+                self.in_window -= count;
                 self.events.pop_front();
             } else {
                 break;
@@ -92,7 +101,7 @@ impl RateMeter {
     /// Events per second over the trailing window ending at `now`.
     pub fn rate(&mut self, now: SimTime) -> f64 {
         self.expire(now);
-        self.events.len() as f64 / self.window.as_secs_f64()
+        self.in_window as f64 / self.window.as_secs_f64()
     }
 
     /// Total events ever recorded.
@@ -331,6 +340,23 @@ mod tests {
     #[should_panic(expected = "window must be positive")]
     fn rate_meter_rejects_zero_window() {
         let _ = RateMeter::new(SimDuration::ZERO);
+    }
+
+    #[test]
+    fn rate_meter_coalesces_simultaneous_events() {
+        let mut m = RateMeter::new(SimDuration::from_secs(1));
+        // A burst of 100k simultaneous events must cost one deque entry,
+        // not 100k — same rate()/total() semantics either way.
+        m.tick_n(SimTime::from_millis(100), 100_000);
+        m.tick(SimTime::from_millis(100));
+        m.tick_n(SimTime::from_millis(200), 5);
+        assert_eq!(m.events.len(), 2);
+        assert_eq!(m.rate(SimTime::from_millis(200)), 100_006.0);
+        assert_eq!(m.total(), 100_006);
+        // The whole burst expires together.
+        assert_eq!(m.rate(SimTime::from_millis(1150)), 5.0);
+        assert_eq!(m.rate(SimTime::from_millis(2000)), 0.0);
+        assert_eq!(m.total(), 100_006);
     }
 
     #[test]

@@ -38,6 +38,23 @@ pub struct OfaStats {
     pub rules_failed: u64,
 }
 
+impl OfaStats {
+    /// Register these counters into a [`MetricsRegistry`] under
+    /// `<prefix>.<field>` — the unified export surface for reports and
+    /// sweep manifests (the struct itself stays the hot-path increment
+    /// site).
+    pub fn register_metrics(&self, prefix: &str, reg: &mut scotch_sim::MetricsRegistry) {
+        reg.add(&format!("{prefix}.packet_in_sent"), self.packet_in_sent);
+        reg.add(
+            &format!("{prefix}.packet_in_dropped"),
+            self.packet_in_dropped,
+        );
+        reg.add(&format!("{prefix}.rules_attempted"), self.rules_attempted);
+        reg.add(&format!("{prefix}.rules_inserted"), self.rules_inserted);
+        reg.add(&format!("{prefix}.rules_failed"), self.rules_failed);
+    }
+}
+
 /// The software agent of one switch.
 #[derive(Debug, Clone)]
 pub struct Ofa {

@@ -33,6 +33,20 @@ pub struct SwitchStats {
     pub dropped_other: u64,
 }
 
+impl SwitchStats {
+    /// Register these counters into a [`MetricsRegistry`] under
+    /// `<prefix>.<field>` (see [`crate::ofa::OfaStats::register_metrics`]).
+    pub fn register_metrics(&self, prefix: &str, reg: &mut scotch_sim::MetricsRegistry) {
+        reg.add(&format!("{prefix}.forwarded"), self.forwarded);
+        reg.add(
+            &format!("{prefix}.dropped_interaction"),
+            self.dropped_interaction,
+        );
+        reg.add(&format!("{prefix}.dropped_ofa"), self.dropped_ofa);
+        reg.add(&format!("{prefix}.dropped_other"), self.dropped_other);
+    }
+}
+
 /// A hardware OpenFlow switch.
 #[derive(Debug, Clone)]
 pub struct PhysicalSwitch {

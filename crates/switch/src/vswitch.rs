@@ -38,6 +38,20 @@ pub struct VSwitchStats {
     pub decapsulated: u64,
 }
 
+impl VSwitchStats {
+    /// Register these counters into a [`MetricsRegistry`] under
+    /// `<prefix>.<field>` (see [`crate::ofa::OfaStats::register_metrics`]).
+    pub fn register_metrics(&self, prefix: &str, reg: &mut scotch_sim::MetricsRegistry) {
+        reg.add(&format!("{prefix}.forwarded"), self.forwarded);
+        reg.add(
+            &format!("{prefix}.dropped_dataplane"),
+            self.dropped_dataplane,
+        );
+        reg.add(&format!("{prefix}.dropped_agent"), self.dropped_agent);
+        reg.add(&format!("{prefix}.decapsulated"), self.decapsulated);
+    }
+}
+
 /// An Open vSwitch participating in the Scotch overlay (mesh or host
 /// vSwitch) or standing alone (the Fig. 3 comparison).
 #[derive(Debug, Clone)]
