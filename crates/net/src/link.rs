@@ -90,6 +90,10 @@ pub struct LinkState {
     tx_bytes: u64,
     drops: u64,
     faulted: u64,
+    /// Administrative state (fault injection): a down link drops everything.
+    up: bool,
+    /// Extra one-way latency (fault injection: degraded link).
+    extra_delay: SimDuration,
 }
 
 impl LinkState {
@@ -102,6 +106,8 @@ impl LinkState {
             tx_bytes: 0,
             drops: 0,
             faulted: 0,
+            up: true,
+            extra_delay: SimDuration::ZERO,
         }
     }
 
@@ -120,15 +126,41 @@ impl LinkState {
         &self.spec
     }
 
+    /// Set the administrative state (fault injection). A down link drops
+    /// every offered packet, counted as an injected fault.
+    pub fn set_up(&mut self, up: bool) {
+        self.up = up;
+    }
+
+    /// Administrative state: false while a link-down fault is active.
+    pub fn is_up(&self) -> bool {
+        self.up
+    }
+
+    /// Set the extra one-way latency added to every delivery (fault
+    /// injection: degraded link). [`SimDuration::ZERO`] restores the link.
+    pub fn set_extra_delay(&mut self, d: SimDuration) {
+        self.extra_delay = d;
+    }
+
+    /// Current extra one-way latency (zero on a healthy link).
+    pub fn extra_delay(&self) -> SimDuration {
+        self.extra_delay
+    }
+
     /// Offer a packet of `size_bytes` for transmission at `now`.
     pub fn transmit(&mut self, now: SimTime, size_bytes: u32) -> TxResult {
+        if !self.up {
+            self.faulted += 1;
+            return TxResult::Dropped;
+        }
         let tx_time = SimDuration::from_secs_f64(size_bytes as f64 * 8.0 / self.spec.rate_bps);
         match self.server.offer(now, tx_time) {
             Admission::Accepted { departs_at } => {
                 self.tx_packets += 1;
                 self.tx_bytes += size_bytes as u64;
                 TxResult::Delivered {
-                    arrives_at: departs_at + self.spec.propagation,
+                    arrives_at: departs_at + self.spec.propagation + self.extra_delay,
                 }
             }
             Admission::Rejected => {
@@ -214,6 +246,35 @@ mod tests {
             l.transmit(SimTime::from_nanos(20_000), 1500),
             TxResult::Delivered { .. }
         ));
+    }
+
+    #[test]
+    fn down_link_drops_everything_as_faults() {
+        let mut l = LinkState::new(LinkSpec::gig());
+        l.set_up(false);
+        assert!(!l.is_up());
+        assert_eq!(l.transmit(SimTime::ZERO, 1500), TxResult::Dropped);
+        assert_eq!(l.faulted(), 1);
+        assert_eq!(l.drops(), 0); // not a queue drop
+        l.set_up(true);
+        assert!(matches!(
+            l.transmit(SimTime::from_secs(1), 1500),
+            TxResult::Delivered { .. }
+        ));
+    }
+
+    #[test]
+    fn extra_delay_adds_to_arrival() {
+        let mut l = LinkState::new(LinkSpec::gig());
+        l.set_extra_delay(SimDuration::from_millis(3));
+        match l.transmit(SimTime::ZERO, 1500) {
+            TxResult::Delivered { arrives_at } => {
+                assert_eq!(arrives_at, SimTime::from_nanos(12_000 + 5_000 + 3_000_000));
+            }
+            TxResult::Dropped => panic!("should deliver"),
+        }
+        l.set_extra_delay(SimDuration::ZERO);
+        assert_eq!(l.extra_delay(), SimDuration::ZERO);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! links.
 
 use crate::link::{LinkId, LinkSpec, LinkState, TxResult};
-use scotch_sim::{SimRng, SimTime};
+use scotch_sim::{SimDuration, SimRng, SimTime};
 use std::collections::{HashMap, VecDeque};
 
 /// Identifier of a node (switch, vSwitch, host, middlebox).
@@ -252,6 +252,18 @@ impl Topology {
     /// Immutable access to a directed link's state (for metrics).
     pub fn link_state(&self, link: LinkId) -> &LinkState {
         &self.links[link.0 as usize].1
+    }
+
+    /// Set one directed link's administrative state (fault injection).
+    /// Packets offered to a down link are dropped and counted as faults.
+    pub fn set_link_up(&mut self, link: LinkId, up: bool) {
+        self.links[link.0 as usize].1.set_up(up);
+    }
+
+    /// Set one directed link's extra one-way latency (fault injection:
+    /// degraded link). [`SimDuration::ZERO`] restores the link.
+    pub fn set_link_extra_delay(&mut self, link: LinkId, d: SimDuration) {
+        self.links[link.0 as usize].1.set_extra_delay(d);
     }
 
     /// A directed link's endpoints as `(from, from_port, to, to_port)`.

@@ -5,6 +5,7 @@
 //! scotch-cli trace [OPTIONS] [TRACE OPTIONS]
 //! scotch-cli sweep [SWEEP OPTIONS]
 //! scotch-cli bench hotpath [BENCH OPTIONS]
+//! scotch-cli chaos [SCENARIO OPTIONS] [CHAOS OPTIONS]
 //!
 //! Topology:
 //!   --scenario <datacenter|single|multirack>   (default: datacenter)
@@ -65,6 +66,22 @@
 //!   --trace-overhead    measure tracing disabled vs enabled at the
 //!                       default level; warn if overhead exceeds 5%
 //!   --quiet             suppress per-scenario progress lines
+//!
+//! Chaos (deterministic fault injection + invariant checking; accepts the
+//! top-level scenario/workload/control options above, plus):
+//!   --plan <FILE>       run a pinned fault-plan file instead of generating
+//!   --events <N>        faults per generated plan        (default: 12)
+//!   --search <N>        try N consecutive seeds, stop at the first plan
+//!                       that violates an invariant, then shrink it
+//!   --shrink-runs <N>   shrink budget in re-runs          (default: 200)
+//!   --failover-bound <SECS>  override the I2 failover bound (0 breaks I2
+//!                       deliberately; default derives from the heartbeat)
+//!   --max-undeliverable <N>  I3 stranded-flow budget       (default: 0)
+//!   --report <FILE>     write the violation report (with trace windows)
+//!   --plan-out <FILE>   write the (shrunk) failing plan
+//!
+//! `chaos` exits 0 on a clean run, 1 when an invariant was violated
+//! (or `--search` found a failing plan), 2 on usage errors.
 //!
 //! `sweep` fans each `(scenario, seed)` pair out on the work-stealing
 //! runner, prints one progress line per finished job, and writes a
@@ -922,10 +939,267 @@ fn best_wall(make: &dyn Fn() -> Scenario, horizon: SimTime, iters: u32, tracing:
     best
 }
 
+/// Parsed chaos-specific flags (everything else is forwarded to
+/// [`parse_args`]).
+#[derive(Debug, Clone, PartialEq)]
+struct ChaosOptions {
+    plan: Option<String>,
+    events: usize,
+    search: Option<u64>,
+    shrink_runs: usize,
+    failover_bound: Option<f64>,
+    max_undeliverable: u64,
+    report: Option<String>,
+    plan_out: Option<String>,
+}
+
+impl Default for ChaosOptions {
+    fn default() -> Self {
+        ChaosOptions {
+            plan: None,
+            events: 12,
+            search: None,
+            shrink_runs: 200,
+            failover_bound: None,
+            max_undeliverable: 0,
+            report: None,
+            plan_out: None,
+        }
+    }
+}
+
+fn parse_chaos_args(args: &[String]) -> Result<(ChaosOptions, Vec<String>), String> {
+    let mut c = ChaosOptions::default();
+    let mut rest = Vec::new();
+    let mut i = 0;
+    let next = |i: &mut usize| -> Result<String, String> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("missing value after {}", args[*i - 1]))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--plan" => c.plan = Some(next(&mut i)?),
+            "--events" => {
+                c.events = next(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--events: {e}"))?
+            }
+            "--search" => {
+                c.search = Some(
+                    next(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("--search: {e}"))?,
+                )
+            }
+            "--shrink-runs" => {
+                c.shrink_runs = next(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--shrink-runs: {e}"))?
+            }
+            "--failover-bound" => {
+                c.failover_bound = Some(
+                    next(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("--failover-bound: {e}"))?,
+                )
+            }
+            "--max-undeliverable" => {
+                c.max_undeliverable = next(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--max-undeliverable: {e}"))?
+            }
+            "--report" => c.report = Some(next(&mut i)?),
+            "--plan-out" => c.plan_out = Some(next(&mut i)?),
+            other => rest.push(other.to_string()),
+        }
+        i += 1;
+    }
+    Ok((c, rest))
+}
+
+/// One line per fault kind actually injected, from the chaos metrics.
+fn injected_summary(report: &scotch::Report) -> String {
+    let mut parts = Vec::new();
+    for name in scotch_sim::fault::FAULT_KIND_NAMES {
+        let n = report
+            .metrics
+            .get(&format!("chaos.injected.{name}"))
+            .unwrap_or(0.0) as u64;
+        if n > 0 {
+            parts.push(format!("{name}={n}"));
+        }
+    }
+    let skipped = report.metrics.get("chaos.skipped").unwrap_or(0.0) as u64;
+    if skipped > 0 {
+        parts.push(format!("skipped={skipped}"));
+    }
+    if parts.is_empty() {
+        "none".into()
+    } else {
+        parts.join(" ")
+    }
+}
+
+/// Write the violation report (plan + rendered violations) for artifacts.
+fn write_chaos_report(
+    path: &str,
+    plan: &scotch_sim::fault::FaultPlan,
+    seed: u64,
+    violations: &[scotch::Violation],
+) {
+    let mut body = format!("# chaos violation report (seed {seed})\n# plan:\n");
+    for line in plan.render().lines() {
+        body.push_str("#   ");
+        body.push_str(line);
+        body.push('\n');
+    }
+    body.push_str(&scotch::chaos::render_violations(violations));
+    if let Err(e) = std::fs::write(path, body) {
+        eprintln!("warning: failed to write {path}: {e}");
+    }
+}
+
+fn chaos_main(args: &[String]) -> i32 {
+    let usage = || {
+        eprintln!("usage: scotch-cli chaos [SCENARIO OPTIONS] [--plan FILE | --events N]");
+        eprintln!("                        [--search N] [--shrink-runs N] [--failover-bound S]");
+        eprintln!(
+            "                        [--max-undeliverable N] [--report FILE] [--plan-out FILE]"
+        );
+    };
+    let (copts, rest) = match parse_chaos_args(args) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            usage();
+            return 2;
+        }
+    };
+    let opts = match parse_args(&rest) {
+        Ok(o) => o,
+        Err(e) => {
+            if e != "help" {
+                eprintln!("error: {e}\n");
+            }
+            usage();
+            return if e == "help" { 0 } else { 2 };
+        }
+    };
+
+    let horizon = SimTime::from_secs_f64(opts.duration);
+    let horizon_dur = SimDuration::from_secs_f64(opts.duration);
+    let mut cfg = scotch::ChaosConfig::default();
+    if let Some(secs) = copts.failover_bound {
+        cfg.failover_bound = SimDuration::from_secs_f64(secs);
+    }
+    cfg.max_undeliverable = copts.max_undeliverable;
+
+    let run_one = |plan: &scotch_sim::fault::FaultPlan, seed: u64| {
+        scotch::chaos::run_plan(&|| build_scenario(&opts), seed, horizon, plan, &cfg)
+    };
+
+    // Pinned-plan mode, or a single generated plan when --search is absent.
+    let Some(tries) = copts.search else {
+        let plan = match &copts.plan {
+            Some(path) => {
+                let text = match std::fs::read_to_string(path) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        eprintln!("error: cannot read plan {path}: {e}");
+                        return 2;
+                    }
+                };
+                match scotch_sim::fault::FaultPlan::parse(&text) {
+                    Ok(p) => p,
+                    Err(e) => {
+                        eprintln!("error: bad plan {path}: {e}");
+                        return 2;
+                    }
+                }
+            }
+            None => scotch::chaos::generate_plan(opts.seed, horizon_dur, copts.events),
+        };
+        let outcome = run_one(&plan, opts.seed);
+        println!(
+            "chaos: seed={} plan={} events, injected: {}",
+            opts.seed,
+            plan.len(),
+            injected_summary(&outcome.report)
+        );
+        if let Some(path) = &copts.plan_out {
+            if let Err(e) = std::fs::write(path, plan.render()) {
+                eprintln!("warning: failed to write {path}: {e}");
+            }
+        }
+        if outcome.violations.is_empty() {
+            println!("chaos: all invariants hold");
+            return 0;
+        }
+        println!("chaos: {} violation(s)", outcome.violations.len());
+        print!("{}", scotch::chaos::render_violations(&outcome.violations));
+        if let Some(path) = &copts.report {
+            write_chaos_report(path, &plan, opts.seed, &outcome.violations);
+        }
+        return 1;
+    };
+
+    // Search mode: generate a fresh plan per seed until one violates an
+    // invariant, then shrink it to a (locally) minimal failing plan.
+    for seed in opts.seed..opts.seed.saturating_add(tries) {
+        let plan = scotch::chaos::generate_plan(seed, horizon_dur, copts.events);
+        let outcome = run_one(&plan, seed);
+        if outcome.violations.is_empty() {
+            println!(
+                "chaos: seed={seed} clean ({})",
+                injected_summary(&outcome.report)
+            );
+            continue;
+        }
+        println!(
+            "chaos: seed={seed} FAILS with {} violation(s); shrinking (budget {} runs)",
+            outcome.violations.len(),
+            copts.shrink_runs
+        );
+        let (small, runs) = scotch::chaos::shrink(
+            &plan,
+            |cand| !run_one(cand, seed).violations.is_empty(),
+            copts.shrink_runs,
+        );
+        let final_outcome = run_one(&small, seed);
+        println!(
+            "chaos: shrunk {} -> {} events in {} runs; minimal plan:",
+            plan.len(),
+            small.len(),
+            runs
+        );
+        print!("{}", small.render());
+        print!(
+            "{}",
+            scotch::chaos::render_violations(&final_outcome.violations)
+        );
+        if let Some(path) = &copts.plan_out {
+            if let Err(e) = std::fs::write(path, small.render()) {
+                eprintln!("warning: failed to write {path}: {e}");
+            }
+        }
+        if let Some(path) = &copts.report {
+            write_chaos_report(path, &small, seed, &final_outcome.violations);
+        }
+        return 1;
+    }
+    println!("chaos: {tries} seed(s) searched, no invariant violations");
+    0
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("trace") {
         std::process::exit(trace_main(&args[1..]));
+    }
+    if args.first().map(String::as_str) == Some("chaos") {
+        std::process::exit(chaos_main(&args[1..]));
     }
     if args.first().map(String::as_str) == Some("sweep") {
         std::process::exit(sweep_main(&args[1..]));

@@ -56,6 +56,7 @@
 //! ```
 
 pub mod app;
+pub mod chaos;
 pub mod config;
 pub mod migration;
 pub mod overlay;
@@ -66,6 +67,7 @@ pub mod scenario;
 pub mod sim;
 
 pub use app::ScotchApp;
+pub use chaos::{ChaosConfig, ChaosOutcome, Violation};
 pub use config::ScotchConfig;
 pub use overlay::OverlayManager;
 pub use report::Report;

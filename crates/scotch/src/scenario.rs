@@ -14,6 +14,7 @@ use crate::report::Report;
 use crate::sim::Simulation;
 use scotch_controller::AddressBook;
 use scotch_net::{FlowKey, IpAddr, LinkSpec, NodeId, NodeKind, Topology};
+use scotch_sim::fault::FaultPlan;
 use scotch_sim::trace::{TraceConfig, TraceRecorder};
 use scotch_sim::{SimDuration, SimRng, SimTime};
 use scotch_switch::middlebox::{Middlebox, StatefulFirewall};
@@ -101,6 +102,7 @@ pub struct Scenario {
     link_loss: f64,
     horizon: SimTime,
     tracing: Option<TraceConfig>,
+    chaos_plan: Option<FaultPlan>,
 }
 
 impl Scenario {
@@ -125,6 +127,7 @@ impl Scenario {
             link_loss: 0.0,
             horizon: SimTime::from_secs(3600),
             tracing: None,
+            chaos_plan: None,
         }
     }
 
@@ -150,6 +153,7 @@ impl Scenario {
             link_loss: 0.0,
             horizon: SimTime::from_secs(3600),
             tracing: None,
+            chaos_plan: None,
         }
     }
 
@@ -314,6 +318,16 @@ impl Scenario {
         self
     }
 
+    /// Builder: attach a declarative fault plan (chaos harness). The plan's
+    /// probabilistic faults draw from a dedicated RNG stream forked from the
+    /// scenario seed, so `(scenario, seed, plan)` replays bit-identically.
+    /// Implies flight-recorder tracing (at the default config if none was
+    /// set) — the invariant checker needs the trace to window violations.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.chaos_plan = Some(plan);
+        self
+    }
+
     /// Expected concurrent flowdb population: total arrival rate times the
     /// entry lifetime — the rule idle timeout (entries live until their
     /// rules idle out), clamped by the run horizon when known so short
@@ -373,6 +387,7 @@ impl Scenario {
 
     fn build_for(self, seed: u64, horizon_secs: f64) -> Simulation {
         let tracing = self.tracing.clone();
+        let chaos_plan = self.chaos_plan.clone();
         let flow_hint = self.expected_flow_count(horizon_secs);
         let mut sim = match self.kind {
             TopoKind::SingleSwitch => self.build_single_switch(seed),
@@ -382,8 +397,18 @@ impl Scenario {
                 mesh_per_rack,
             } => self.build_multirack(racks, mesh_per_rack, seed),
         };
-        if let Some(config) = tracing {
-            sim.app.trace = TraceRecorder::new(config);
+        match tracing {
+            Some(config) => sim.app.trace = TraceRecorder::new(config),
+            // Chaos runs always trace: the invariant checker reports each
+            // violation with the trace window around it.
+            None if chaos_plan.is_some() => {
+                sim.app.trace = TraceRecorder::new(TraceConfig::default());
+            }
+            None => {}
+        }
+        if let Some(plan) = chaos_plan {
+            let mut rng = SimRng::new(seed);
+            sim.apply_fault_plan(&plan, rng.fork(0xC4A05));
         }
         if flow_hint > 0 {
             sim.app.reserve_flow_capacity(flow_hint);

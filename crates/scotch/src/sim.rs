@@ -10,11 +10,14 @@
 use crate::app::{ControllerMode, ScotchApp};
 use crate::report::{DropCounts, FlowOutcome, Report, SwitchReport, VSwitchReport};
 use scotch_controller::Command;
-use scotch_net::{IpAddr, Label, NodeId, NodeKind, NodeMap, Packet, PortId, Topology};
+use scotch_net::{IpAddr, Label, LinkId, NodeId, NodeKind, NodeMap, Packet, PortId, Topology};
 use scotch_openflow::{ControllerToSwitch, FlowModCommand, SwitchToController};
+use scotch_sim::fault::{FaultEvent, FaultKind, FaultPlan, FAULT_KIND_COUNT, FAULT_KIND_NAMES};
 use scotch_sim::metrics::Histogram;
 use scotch_sim::trace::{TraceEvent, TraceRecorder};
-use scotch_sim::{DispatchProfiler, EventQueue, FxHashMap, MetricsRegistry, SimDuration, SimTime};
+use scotch_sim::{
+    DispatchProfiler, EventQueue, FxHashMap, MetricsRegistry, SimDuration, SimRng, SimTime,
+};
 use scotch_switch::middlebox::{MbVerdict, Middlebox};
 use scotch_switch::{DropReason, Output, PhysicalSwitch, VSwitch};
 use scotch_workload::{FlowArrival, FlowSource, FlowSpec};
@@ -66,11 +69,28 @@ enum Event {
     JoinVSwitch { node: NodeId },
     /// Scripted recovery of a previously failed vSwitch (§5.6).
     RecoverVSwitch { node: NodeId },
+    /// Inject entry `idx` of the attached fault plan (chaos harness).
+    InjectFault { idx: u32 },
+    /// Toggle a directed link's administrative state; `finale` marks the
+    /// last toggle of a bounded fault (traced as `FaultCleared`).
+    SetLinkUp {
+        link: LinkId,
+        up: bool,
+        kind: u8,
+        finale: bool,
+    },
+    /// Restore a degraded link's latency.
+    ClearLinkDegrade { link: LinkId },
+    /// Restore a slowed OFA's service times.
+    ClearOfaSlowdown { node: NodeId },
+    /// End of a controller stall window (trace marker; the stall itself
+    /// expires by timestamp comparison).
+    ClearControllerStall,
 }
 
 /// Display names for [`Event`] variants, indexed by [`Event::kind`] — the
 /// row labels of the dispatch-cost profile.
-const EVENT_KIND_NAMES: [&str; 13] = [
+const EVENT_KIND_NAMES: [&str; 18] = [
     "arrive",
     "emit_packet",
     "source_next",
@@ -84,6 +104,11 @@ const EVENT_KIND_NAMES: [&str; 13] = [
     "fail_vswitch",
     "join_vswitch",
     "recover_vswitch",
+    "inject_fault",
+    "set_link_up",
+    "clear_link_degrade",
+    "clear_ofa_slowdown",
+    "clear_controller_stall",
 ];
 
 impl Event {
@@ -103,6 +128,92 @@ impl Event {
             Event::FailVSwitch { .. } => 10,
             Event::JoinVSwitch { .. } => 11,
             Event::RecoverVSwitch { .. } => 12,
+            Event::InjectFault { .. } => 13,
+            Event::SetLinkUp { .. } => 14,
+            Event::ClearLinkDegrade { .. } => 15,
+            Event::ClearOfaSlowdown { .. } => 16,
+            Event::ClearControllerStall => 17,
+        }
+    }
+}
+
+/// Control-channel perturbation kinds for
+/// [`TraceEvent::CtrlMsgPerturbed`] (`0` dropped rx, `1` dropped tx,
+/// `2` duplicated, `3` delayed).
+const PERTURB_DROP_RX: u32 = 0;
+const PERTURB_DROP_TX: u32 = 1;
+const PERTURB_DUP: u32 = 2;
+const PERTURB_DELAY: u32 = 3;
+
+/// Mutable chaos-harness state: active fault windows plus the exact
+/// message accounting the invariant checker reconciles after the run.
+///
+/// Everything here is exported under `chaos.*` in the metrics snapshot
+/// (never in the canonical report), and only when a fault plan is attached.
+#[derive(Default)]
+struct ChaosState {
+    /// Faults injected, by [`FaultKind::index`].
+    injected: [u64; FAULT_KIND_COUNT],
+    /// Plan entries skipped because no candidate target existed.
+    skipped: u64,
+    /// Control-channel loss window (drop probability, end of window).
+    loss_p: f64,
+    loss_until: SimTime,
+    /// Switch→controller duplication window.
+    dup_p: f64,
+    dup_until: SimTime,
+    /// Reordering window (extra uniform delay in `[0, jitter]`).
+    reorder_p: f64,
+    reorder_jitter: SimDuration,
+    reorder_until: SimTime,
+    /// Controller outage: inbound messages and periodic work defer until
+    /// this instant.
+    stall_until: SimTime,
+    /// Switch→controller messages dropped by loss, by rx message kind.
+    rx_dropped: [u64; 6],
+    /// Controller→switch messages dropped by loss, by tx message kind.
+    tx_dropped: [u64; 6],
+    /// Switch→controller messages duplicated, by rx message kind.
+    duplicated: [u64; 6],
+    /// Messages given extra reorder delay (both directions).
+    delayed: u64,
+    /// Messages deferred past a controller stall window.
+    deferred: u64,
+    /// Controller→switch messages absorbed by a failed vSwitch, by kind.
+    absorbed: [u64; 6],
+    /// FlowMod-Add commands sent / lost in transit / absorbed while the
+    /// target vSwitch was failed (the FlowMod conservation ledger).
+    flowmod_add_sent: u64,
+    flowmod_add_dropped: u64,
+    flowmod_add_absorbed: u64,
+    /// Events still queued when the horizon hit, tallied so conservation
+    /// checks are exact rather than tolerance-based.
+    in_flight_rx: [u64; 6],
+    in_flight_tx: [u64; 6],
+    in_flight_flowmod_add: u64,
+    in_flight_packets: u64,
+}
+
+impl ChaosState {
+    fn tally_in_flight(&mut self, ev: &Event) {
+        match ev {
+            Event::Arrive { .. } | Event::EmitPacket { .. } => self.in_flight_packets += 1,
+            Event::CtrlFromSwitch { msg, .. } | Event::CtrlProcessed { msg, .. } => {
+                self.in_flight_rx[ctrl_rx_kind(msg)] += 1;
+            }
+            Event::CtrlToSwitch { msg, .. } => {
+                self.in_flight_tx[ctrl_tx_kind(msg)] += 1;
+                if matches!(
+                    msg.as_ref(),
+                    ControllerToSwitch::FlowMod {
+                        command: FlowModCommand::Add(_),
+                        ..
+                    }
+                ) {
+                    self.in_flight_flowmod_add += 1;
+                }
+            }
+            _ => {}
         }
     }
 }
@@ -243,6 +354,13 @@ pub struct Simulation {
     /// Switch→controller messages received, by message kind
     /// (`controller.rx.<kind>`).
     ctrl_rx: [u64; 6],
+    /// Attached fault plan (empty = chaos harness inactive).
+    fault_plan: Vec<FaultEvent>,
+    /// Dedicated RNG for probabilistic faults (loss/dup/reorder draws);
+    /// forked from the scenario seed so chaos runs stay deterministic.
+    fault_rng: Option<SimRng>,
+    /// Live fault windows and the chaos accounting ledger.
+    chaos: ChaosState,
 }
 
 impl Simulation {
@@ -279,6 +397,9 @@ impl Simulation {
             profiler: None,
             ctrl_tx: [0; 6],
             ctrl_rx: [0; 6],
+            fault_plan: Vec::new(),
+            fault_rng: None,
+            chaos: ChaosState::default(),
         }
     }
 
@@ -352,9 +473,278 @@ impl Simulation {
         self.events.push(at, Event::RecoverVSwitch { node });
     }
 
+    /// Attach a declarative fault plan (chaos harness). Every entry is
+    /// scheduled through the ordinary event queue, so a
+    /// `(scenario, seed, plan)` triple replays bit-identically. `rng` seeds
+    /// the probabilistic faults (loss/duplication/reordering draws) and
+    /// should be forked from the scenario seed.
+    pub fn apply_fault_plan(&mut self, plan: &FaultPlan, rng: SimRng) {
+        for (i, ev) in plan.events.iter().enumerate() {
+            self.events
+                .push(ev.at, Event::InjectFault { idx: i as u32 });
+        }
+        self.fault_plan = plan.events.clone();
+        self.fault_rng = Some(rng);
+    }
+
+    /// Resolve and apply fault-plan entry `idx` at `now`.
+    fn on_inject_fault(&mut self, now: SimTime, idx: u32) {
+        let kind = self.fault_plan[idx as usize].kind;
+        let kind_idx = kind.index();
+        match kind {
+            FaultKind::VSwitchCrash {
+                target,
+                restart_after,
+            } => {
+                // Candidates: live mesh members whose device is not already
+                // failed (re-crashing a corpse is a no-op we skip instead).
+                let candidates: Vec<NodeId> = self
+                    .app
+                    .overlay
+                    .live_mesh()
+                    .into_iter()
+                    .filter(|&n| self.vswitches.get(n).map(|v| !v.failed).unwrap_or(false))
+                    .collect();
+                if candidates.is_empty() {
+                    self.chaos.skipped += 1;
+                    return;
+                }
+                let node = candidates[target as usize % candidates.len()];
+                if let Some(vs) = self.vswitches.get_mut(node) {
+                    vs.failed = true;
+                }
+                self.chaos.injected[kind_idx] += 1;
+                self.app.trace.record(
+                    now,
+                    TraceEvent::FaultInjected {
+                        kind: kind_idx as u32,
+                        target: node.0,
+                    },
+                );
+                if let Some(delay) = restart_after {
+                    self.events
+                        .push(now + delay, Event::RecoverVSwitch { node });
+                }
+            }
+            FaultKind::LinkDown { target, duration } => {
+                let n = self.topo.link_count();
+                if n == 0 {
+                    self.chaos.skipped += 1;
+                    return;
+                }
+                let link = LinkId(target % n as u32);
+                self.topo.set_link_up(link, false);
+                self.chaos.injected[kind_idx] += 1;
+                self.app.trace.record(
+                    now,
+                    TraceEvent::FaultInjected {
+                        kind: kind_idx as u32,
+                        target: link.0,
+                    },
+                );
+                self.events.push(
+                    now + duration,
+                    Event::SetLinkUp {
+                        link,
+                        up: true,
+                        kind: kind_idx as u8,
+                        finale: true,
+                    },
+                );
+            }
+            FaultKind::LinkFlap {
+                target,
+                cycles,
+                period,
+            } => {
+                let n = self.topo.link_count();
+                if n == 0 || cycles == 0 {
+                    self.chaos.skipped += 1;
+                    return;
+                }
+                let link = LinkId(target % n as u32);
+                self.topo.set_link_up(link, false);
+                self.chaos.injected[kind_idx] += 1;
+                self.app.trace.record(
+                    now,
+                    TraceEvent::FaultInjected {
+                        kind: kind_idx as u32,
+                        target: link.0,
+                    },
+                );
+                for k in 0..cycles {
+                    let last = k + 1 == cycles;
+                    self.events.push(
+                        now + period.mul(u64::from(2 * k + 1)),
+                        Event::SetLinkUp {
+                            link,
+                            up: true,
+                            kind: kind_idx as u8,
+                            finale: last,
+                        },
+                    );
+                    if !last {
+                        self.events.push(
+                            now + period.mul(u64::from(2 * k + 2)),
+                            Event::SetLinkUp {
+                                link,
+                                up: false,
+                                kind: kind_idx as u8,
+                                finale: false,
+                            },
+                        );
+                    }
+                }
+            }
+            FaultKind::LinkDegrade {
+                target,
+                extra_latency,
+                duration,
+            } => {
+                let n = self.topo.link_count();
+                if n == 0 {
+                    self.chaos.skipped += 1;
+                    return;
+                }
+                let link = LinkId(target % n as u32);
+                self.topo.set_link_extra_delay(link, extra_latency);
+                self.chaos.injected[kind_idx] += 1;
+                self.app.trace.record(
+                    now,
+                    TraceEvent::FaultInjected {
+                        kind: kind_idx as u32,
+                        target: link.0,
+                    },
+                );
+                self.events
+                    .push(now + duration, Event::ClearLinkDegrade { link });
+            }
+            FaultKind::CtrlLoss { p, duration } => {
+                self.chaos.loss_p = p;
+                self.chaos.loss_until = now + duration;
+                self.chaos.injected[kind_idx] += 1;
+                self.app.trace.record(
+                    now,
+                    TraceEvent::FaultInjected {
+                        kind: kind_idx as u32,
+                        target: u32::MAX,
+                    },
+                );
+            }
+            FaultKind::CtrlDup { p, duration } => {
+                self.chaos.dup_p = p;
+                self.chaos.dup_until = now + duration;
+                self.chaos.injected[kind_idx] += 1;
+                self.app.trace.record(
+                    now,
+                    TraceEvent::FaultInjected {
+                        kind: kind_idx as u32,
+                        target: u32::MAX,
+                    },
+                );
+            }
+            FaultKind::CtrlReorder {
+                p,
+                jitter,
+                duration,
+            } => {
+                self.chaos.reorder_p = p;
+                self.chaos.reorder_jitter = jitter;
+                self.chaos.reorder_until = now + duration;
+                self.chaos.injected[kind_idx] += 1;
+                self.app.trace.record(
+                    now,
+                    TraceEvent::FaultInjected {
+                        kind: kind_idx as u32,
+                        target: u32::MAX,
+                    },
+                );
+            }
+            FaultKind::OfaSlowdown {
+                target,
+                factor,
+                duration,
+            } => {
+                // Candidates: every device with an OFA, physical switches
+                // first then vSwitches, both in ascending node-id order.
+                let mut candidates: Vec<NodeId> = Vec::new();
+                for i in 0..self.physical.id_bound() {
+                    let n = NodeId(i);
+                    if self.physical.get(n).is_some() {
+                        candidates.push(n);
+                    }
+                }
+                for i in 0..self.vswitches.id_bound() {
+                    let n = NodeId(i);
+                    if self.vswitches.get(n).is_some() {
+                        candidates.push(n);
+                    }
+                }
+                if candidates.is_empty() {
+                    self.chaos.skipped += 1;
+                    return;
+                }
+                let node = candidates[target as usize % candidates.len()];
+                // A hostile plan must not panic the sim: the OFA asserts the
+                // factor is finite and positive, so clamp before applying.
+                let factor = if factor.is_finite() {
+                    factor.max(1e-3)
+                } else {
+                    1.0
+                };
+                self.set_ofa_slowdown(node, factor);
+                self.chaos.injected[kind_idx] += 1;
+                self.app.trace.record(
+                    now,
+                    TraceEvent::FaultInjected {
+                        kind: kind_idx as u32,
+                        target: node.0,
+                    },
+                );
+                self.events
+                    .push(now + duration, Event::ClearOfaSlowdown { node });
+            }
+            FaultKind::ControllerStall { duration } => {
+                let until = now + duration;
+                self.chaos.stall_until = self.chaos.stall_until.max(until);
+                self.chaos.injected[kind_idx] += 1;
+                self.app.trace.record(
+                    now,
+                    TraceEvent::FaultInjected {
+                        kind: kind_idx as u32,
+                        target: u32::MAX,
+                    },
+                );
+                self.events
+                    .push(self.chaos.stall_until, Event::ClearControllerStall);
+            }
+        }
+    }
+
+    fn set_ofa_slowdown(&mut self, node: NodeId, factor: f64) {
+        if let Some(sw) = self.physical.get_mut(node) {
+            sw.set_ofa_slowdown(factor);
+        } else if let Some(vs) = self.vswitches.get_mut(node) {
+            vs.set_ofa_slowdown(factor);
+        }
+    }
+
     /// Send initial controller commands (e.g. policy green rules) at t=0.
     pub fn bootstrap_commands(&mut self, commands: Vec<Command>) {
         for cmd in commands {
+            // Bootstrap bypasses `dispatch_commands` (no ctrl_tx counting,
+            // no fault perturbation: it models pre-loaded state, not live
+            // control traffic), but the FlowMod-conservation ledger must
+            // still see its Adds or the chaos invariant would not balance.
+            if matches!(
+                &cmd.msg,
+                ControllerToSwitch::FlowMod {
+                    command: FlowModCommand::Add(_),
+                    ..
+                }
+            ) {
+                self.chaos.flowmod_add_sent += 1;
+            }
             self.events.push(
                 SimTime::ZERO,
                 Event::CtrlToSwitch {
@@ -377,7 +767,18 @@ impl Simulation {
 
     fn dispatch_commands(&mut self, now: SimTime, commands: Vec<Command>) {
         for cmd in commands {
-            self.ctrl_tx[ctrl_tx_kind(&cmd.msg)] += 1;
+            let kind = ctrl_tx_kind(&cmd.msg);
+            self.ctrl_tx[kind] += 1;
+            let is_flowmod_add = matches!(
+                &cmd.msg,
+                ControllerToSwitch::FlowMod {
+                    command: FlowModCommand::Add(_),
+                    ..
+                }
+            );
+            if self.fault_rng.is_some() && is_flowmod_add {
+                self.chaos.flowmod_add_sent += 1;
+            }
             if self.app.trace.is_enabled() {
                 if let ControllerToSwitch::FlowMod {
                     table,
@@ -394,7 +795,36 @@ impl Simulation {
                     );
                 }
             }
-            let at = now + self.control_latency(cmd.to);
+            let mut at = now + self.control_latency(cmd.to);
+            if let Some(rng) = self.fault_rng.as_mut() {
+                if now < self.chaos.loss_until && rng.chance(self.chaos.loss_p) {
+                    self.chaos.tx_dropped[kind] += 1;
+                    if is_flowmod_add {
+                        self.chaos.flowmod_add_dropped += 1;
+                    }
+                    self.app.trace.record(
+                        now,
+                        TraceEvent::CtrlMsgPerturbed {
+                            kind: PERTURB_DROP_TX,
+                        },
+                    );
+                    continue;
+                }
+                if now < self.chaos.reorder_until
+                    && self.chaos.reorder_jitter > SimDuration::ZERO
+                    && rng.chance(self.chaos.reorder_p)
+                {
+                    let extra = rng.range_u64(0, self.chaos.reorder_jitter.as_nanos());
+                    at += SimDuration::from_nanos(extra);
+                    self.chaos.delayed += 1;
+                    self.app.trace.record(
+                        now,
+                        TraceEvent::CtrlMsgPerturbed {
+                            kind: PERTURB_DELAY,
+                        },
+                    );
+                }
+            }
             self.events.push(
                 at,
                 Event::CtrlToSwitch {
@@ -430,7 +860,47 @@ impl Simulation {
                     self.transmit(now, node, out_port, packet);
                 }
                 Output::ToController { at, msg } => {
-                    let deliver = at.max(now) + self.control_latency(node);
+                    let mut deliver = at.max(now) + self.control_latency(node);
+                    if let Some(rng) = self.fault_rng.as_mut() {
+                        let kind = ctrl_rx_kind(&msg);
+                        if now < self.chaos.loss_until && rng.chance(self.chaos.loss_p) {
+                            self.chaos.rx_dropped[kind] += 1;
+                            self.app.trace.record(
+                                now,
+                                TraceEvent::CtrlMsgPerturbed {
+                                    kind: PERTURB_DROP_RX,
+                                },
+                            );
+                            continue;
+                        }
+                        if now < self.chaos.reorder_until
+                            && self.chaos.reorder_jitter > SimDuration::ZERO
+                            && rng.chance(self.chaos.reorder_p)
+                        {
+                            let extra = rng.range_u64(0, self.chaos.reorder_jitter.as_nanos());
+                            deliver += SimDuration::from_nanos(extra);
+                            self.chaos.delayed += 1;
+                            self.app.trace.record(
+                                now,
+                                TraceEvent::CtrlMsgPerturbed {
+                                    kind: PERTURB_DELAY,
+                                },
+                            );
+                        }
+                        if now < self.chaos.dup_until && rng.chance(self.chaos.dup_p) {
+                            self.chaos.duplicated[kind] += 1;
+                            self.app
+                                .trace
+                                .record(now, TraceEvent::CtrlMsgPerturbed { kind: PERTURB_DUP });
+                            self.events.push(
+                                deliver,
+                                Event::CtrlFromSwitch {
+                                    from: node,
+                                    msg: Box::new(msg.clone()),
+                                },
+                            );
+                        }
+                    }
                     self.events.push(
                         deliver,
                         Event::CtrlFromSwitch {
@@ -582,8 +1052,13 @@ impl Simulation {
             rec.emitted += 1;
             (p, rec.src_host, seq + 1 < spec.packets)
         };
-        // Hosts have exactly one uplink: port 0.
-        let uplink = self.topo.port_iter(src_host).next().unwrap_or(PortId(0));
+        // Hosts have exactly one uplink; `run()` validated its existence at
+        // startup, so a miss here is an internal invariant violation.
+        let uplink = self
+            .topo
+            .port_iter(src_host)
+            .next()
+            .expect("scenario error: emitting host has no uplink port");
         self.transmit(now, src_host, uplink, packet);
         if more {
             let gap = self.flows[flow_idx].spec.packet_interval;
@@ -598,7 +1073,30 @@ impl Simulation {
     }
 
     /// Run until `until`, returning the report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any registered host (or workload default host) has no
+    /// uplink port — that is a scenario construction error, not a runtime
+    /// condition, and silently misdirecting its traffic would corrupt
+    /// every downstream metric.
     pub fn run(mut self, until: SimTime) -> Report {
+        for (host, _) in self.host_ip.iter() {
+            assert!(
+                self.topo.port_iter(host).next().is_some(),
+                "scenario error: host {} ({:?}) has no uplink port",
+                self.topo.name(host),
+                host
+            );
+        }
+        for (default_host, _) in &self.sources {
+            assert!(
+                self.topo.port_iter(*default_host).next().is_some(),
+                "scenario error: workload default host {} ({:?}) has no uplink port",
+                self.topo.name(*default_host),
+                default_host
+            );
+        }
         // Seed periodic events and sources.
         let tick = self.app.config.tick_interval;
         let poll = self.app.config.stats_poll_interval;
@@ -617,8 +1115,12 @@ impl Simulation {
         }
 
         let mut processed = 0u64;
+        let mut overflow_event: Option<Event> = None;
         while let Some((now, ev)) = self.events.pop() {
             if now > until {
+                // Keep the one popped-but-unprocessed event so the chaos
+                // in-flight accounting below stays exact.
+                overflow_event = Some(ev);
                 break;
             }
             processed += 1;
@@ -633,6 +1135,14 @@ impl Simulation {
                 Event::EmitPacket { flow_idx, seq } => self.on_emit(now, flow_idx, seq),
                 Event::SourceNext { source_idx } => self.on_source_next(source_idx),
                 Event::CtrlFromSwitch { from, msg } => {
+                    if now < self.chaos.stall_until {
+                        // Controller outage: defer the message (order among
+                        // deferred messages is preserved by insertion seq).
+                        self.chaos.deferred += 1;
+                        self.events
+                            .push(self.chaos.stall_until, Event::CtrlFromSwitch { from, msg });
+                        continue;
+                    }
                     self.ctrl_rx[ctrl_rx_kind(&msg)] += 1;
                     match &mut self.controller_gate {
                         Some((server, service)) => match server.offer(now, *service) {
@@ -654,6 +1164,12 @@ impl Simulation {
                     }
                 }
                 Event::CtrlProcessed { from, msg } => {
+                    if now < self.chaos.stall_until {
+                        self.chaos.deferred += 1;
+                        self.events
+                            .push(self.chaos.stall_until, Event::CtrlProcessed { from, msg });
+                        continue;
+                    }
                     let cmds = {
                         let topo = &self.topo;
                         self.app.handle_switch_msg(now, topo, from, *msg)
@@ -661,6 +1177,27 @@ impl Simulation {
                     self.dispatch_commands(now, cmds);
                 }
                 Event::CtrlToSwitch { to, msg } => {
+                    if self.fault_rng.is_some() {
+                        // A failed vSwitch absorbs the command (its own
+                        // ctrl_absorbed counter also ticks); so does a node
+                        // with no attached device. Tallied so the FlowMod
+                        // conservation ledger balances exactly.
+                        let dead_vs = self.vswitches.get(to).map(|v| v.failed).unwrap_or(false);
+                        let no_device =
+                            self.physical.get(to).is_none() && self.vswitches.get(to).is_none();
+                        if dead_vs || no_device {
+                            self.chaos.absorbed[ctrl_tx_kind(&msg)] += 1;
+                            if matches!(
+                                msg.as_ref(),
+                                ControllerToSwitch::FlowMod {
+                                    command: FlowModCommand::Add(_),
+                                    ..
+                                }
+                            ) {
+                                self.chaos.flowmod_add_absorbed += 1;
+                            }
+                        }
+                    }
                     let mut outputs = if let Some(sw) = self.physical.get_mut(to) {
                         sw.handle_controller_msg(now, *msg)
                     } else if let Some(vs) = self.vswitches.get_mut(to) {
@@ -671,21 +1208,30 @@ impl Simulation {
                     self.handle_outputs(now, to, &mut outputs);
                 }
                 Event::ControllerTick => {
-                    let cmds = {
-                        let topo = &self.topo;
-                        self.app.tick(now, topo)
-                    };
-                    self.dispatch_commands(now, cmds);
+                    // During a controller stall the periodic work is skipped
+                    // but the timer keeps re-arming, so the cadence resumes
+                    // as soon as the stall window ends.
+                    if now >= self.chaos.stall_until {
+                        let cmds = {
+                            let topo = &self.topo;
+                            self.app.tick(now, topo)
+                        };
+                        self.dispatch_commands(now, cmds);
+                    }
                     self.events.push(now + tick, Event::ControllerTick);
                 }
                 Event::StatsPoll => {
-                    let cmds = self.app.poll_stats();
-                    self.dispatch_commands(now, cmds);
+                    if now >= self.chaos.stall_until {
+                        let cmds = self.app.poll_stats();
+                        self.dispatch_commands(now, cmds);
+                    }
                     self.events.push(now + poll, Event::StatsPoll);
                 }
                 Event::Heartbeat => {
-                    let cmds = self.app.heartbeat(now);
-                    self.dispatch_commands(now, cmds);
+                    if now >= self.chaos.stall_until {
+                        let cmds = self.app.heartbeat(now);
+                        self.dispatch_commands(now, cmds);
+                    }
                     self.events.push(now + hb, Event::Heartbeat);
                 }
                 Event::ExpirySweep => {
@@ -719,6 +1265,16 @@ impl Simulation {
                     );
                     self.registry
                         .sample("sim.event_queue.len", now, self.events.len() as f64);
+                    self.registry.sample(
+                        "overlay.mesh_live",
+                        now,
+                        self.app.overlay.alive.iter().filter(|a| **a).count() as f64,
+                    );
+                    self.registry.sample(
+                        "overlay.standby_remaining",
+                        now,
+                        self.app.overlay.backups.len() as f64,
+                    );
                     self.events
                         .push(now + self.sweep_interval, Event::ExpirySweep);
                 }
@@ -739,12 +1295,85 @@ impl Simulation {
                         vs.failed = false;
                     }
                     self.app.recover_vswitch(now, node);
+                    if self.fault_rng.is_some() {
+                        // Restart half of a VSwitchCrash fault.
+                        self.app.trace.record(
+                            now,
+                            TraceEvent::FaultCleared {
+                                kind: 0,
+                                target: node.0,
+                            },
+                        );
+                    }
+                }
+                Event::InjectFault { idx } => self.on_inject_fault(now, idx),
+                Event::SetLinkUp {
+                    link,
+                    up,
+                    kind,
+                    finale,
+                } => {
+                    self.topo.set_link_up(link, up);
+                    if finale {
+                        self.app.trace.record(
+                            now,
+                            TraceEvent::FaultCleared {
+                                kind: u32::from(kind),
+                                target: link.0,
+                            },
+                        );
+                    }
+                }
+                Event::ClearLinkDegrade { link } => {
+                    self.topo.set_link_extra_delay(link, SimDuration::ZERO);
+                    self.app.trace.record(
+                        now,
+                        TraceEvent::FaultCleared {
+                            kind: 3,
+                            target: link.0,
+                        },
+                    );
+                }
+                Event::ClearOfaSlowdown { node } => {
+                    self.set_ofa_slowdown(node, 1.0);
+                    self.app.trace.record(
+                        now,
+                        TraceEvent::FaultCleared {
+                            kind: 7,
+                            target: node.0,
+                        },
+                    );
+                }
+                Event::ClearControllerStall => {
+                    // Stall windows can extend; only the final marker (at or
+                    // past the latest `stall_until`) traces the clear.
+                    if now >= self.chaos.stall_until {
+                        self.app.trace.record(
+                            now,
+                            TraceEvent::FaultCleared {
+                                kind: 8,
+                                target: u32::MAX,
+                            },
+                        );
+                    }
                 }
             }
             if let Some((kind, t0)) = prof {
                 if let Some(p) = self.profiler.as_mut() {
                     p.record(kind, t0.elapsed().as_nanos() as f64);
                 }
+            }
+        }
+
+        if !self.fault_plan.is_empty() {
+            // Tally everything still queued past the horizon so the chaos
+            // conservation invariants reconcile exactly (messages in flight
+            // are neither delivered nor lost — they are accounted).
+            if let Some(ev) = overflow_event.take() {
+                self.chaos.tally_in_flight(&ev);
+            }
+            while let Some((_, ev)) = self.events.pop() {
+                self.chaos.tally_in_flight(&ev);
             }
         }
 
@@ -821,6 +1450,32 @@ impl Simulation {
         *reg.histogram_mut(lat) = self.latency.clone();
         reg.add("trace.recorded", self.app.trace.total_recorded());
         reg.add("trace.dropped", self.app.trace.dropped());
+        if !self.fault_plan.is_empty() {
+            // Chaos ledger: only exported when a fault plan was attached, so
+            // fault-free golden runs keep their exact metric surface.
+            let c = &self.chaos;
+            for (i, &n) in c.injected.iter().enumerate() {
+                reg.add(&format!("chaos.injected.{}", FAULT_KIND_NAMES[i]), n);
+            }
+            reg.add("chaos.skipped", c.skipped);
+            for (i, name) in CTRL_RX_KIND_NAMES.iter().enumerate() {
+                reg.add(&format!("chaos.rx_dropped.{name}"), c.rx_dropped[i]);
+                reg.add(&format!("chaos.duplicated.{name}"), c.duplicated[i]);
+                reg.add(&format!("chaos.in_flight_rx.{name}"), c.in_flight_rx[i]);
+            }
+            for (i, name) in CTRL_TX_KIND_NAMES.iter().enumerate() {
+                reg.add(&format!("chaos.tx_dropped.{name}"), c.tx_dropped[i]);
+                reg.add(&format!("chaos.absorbed.{name}"), c.absorbed[i]);
+                reg.add(&format!("chaos.in_flight_tx.{name}"), c.in_flight_tx[i]);
+            }
+            reg.add("chaos.delayed", c.delayed);
+            reg.add("chaos.deferred", c.deferred);
+            reg.add("chaos.flowmod_add.sent", c.flowmod_add_sent);
+            reg.add("chaos.flowmod_add.dropped", c.flowmod_add_dropped);
+            reg.add("chaos.flowmod_add.absorbed", c.flowmod_add_absorbed);
+            reg.add("chaos.flowmod_add.in_flight", c.in_flight_flowmod_add);
+            reg.add("chaos.in_flight.packets", c.in_flight_packets);
+        }
         let metrics = reg.snapshot();
 
         let profile = self

@@ -598,3 +598,26 @@ fn tcam_clear_preserves_middlebox_policy() {
         late.len()
     );
 }
+
+#[test]
+#[should_panic(expected = "has no uplink port")]
+fn host_without_uplink_is_a_scenario_error() {
+    // A registered host with no attached link used to silently fall back to
+    // PortId(0); it is now rejected up front as a scenario-construction bug.
+    use scotch::app::ScotchApp;
+    use scotch::{OverlayManager, Simulation};
+    use scotch_controller::AddressBook;
+    use scotch_net::{IpAddr, NodeKind, Topology};
+
+    let mut topo = Topology::new();
+    let stranded = topo.add_node(NodeKind::Host, "stranded");
+    let app = ScotchApp::new(
+        ControllerMode::Scotch,
+        ScotchConfig::default(),
+        AddressBook::default(),
+        OverlayManager::default(),
+    );
+    let mut sim = Simulation::new(topo, app);
+    sim.add_host(stranded, IpAddr::new(10, 0, 0, 1));
+    sim.run(SimTime::from_secs(1));
+}

@@ -22,6 +22,7 @@
 //!   sequence number, so pop order is a pure function of push order.
 
 pub mod event;
+pub mod fault;
 pub mod hash;
 pub mod metrics;
 pub mod rate;
@@ -31,6 +32,7 @@ pub mod time;
 pub mod trace;
 
 pub use event::{EventQueue, HeapEventQueue};
+pub use fault::{FaultEvent, FaultKind, FaultPlan, FAULT_KIND_COUNT, FAULT_KIND_NAMES};
 pub use hash::{FxHashMap, FxHashSet};
 pub use registry::{DispatchProfiler, MetricsRegistry, MetricsSnapshot, ProfileEntry};
 pub use rng::SimRng;

@@ -51,10 +51,12 @@ pub enum TraceCategory {
     Group,
     /// vSwitch liveness: failures, joins, recoveries, failovers.
     Health,
+    /// Injected faults (chaos harness) and their restorations.
+    Fault,
 }
 
 /// Number of trace categories (size of the per-category level table).
-pub const TRACE_CATEGORIES: usize = 7;
+pub const TRACE_CATEGORIES: usize = 8;
 
 impl TraceCategory {
     /// All categories, in a fixed order matching [`TraceCategory::index`].
@@ -66,6 +68,7 @@ impl TraceCategory {
         TraceCategory::PacketIn,
         TraceCategory::Group,
         TraceCategory::Health,
+        TraceCategory::Fault,
     ];
 
     /// Dense index into the per-category level table.
@@ -84,6 +87,7 @@ impl TraceCategory {
             TraceCategory::PacketIn => "packet_in",
             TraceCategory::Group => "group",
             TraceCategory::Health => "health",
+            TraceCategory::Fault => "fault",
         }
     }
 
@@ -213,6 +217,28 @@ pub enum TraceEvent {
         /// The recovering vSwitch.
         node: u32,
     },
+    /// A fault from a [`FaultPlan`](crate::fault::FaultPlan) was injected.
+    FaultInjected {
+        /// Fault-kind index into [`FAULT_KIND_NAMES`](crate::fault::FAULT_KIND_NAMES).
+        kind: u32,
+        /// Resolved concrete target (node id, directed link id, or
+        /// `u32::MAX` for untargeted faults like a controller stall).
+        target: u32,
+    },
+    /// A bounded fault's effect was restored (link back up, slowdown
+    /// lifted, stall ended, vSwitch restarted).
+    FaultCleared {
+        /// Fault-kind index into [`FAULT_KIND_NAMES`](crate::fault::FAULT_KIND_NAMES).
+        kind: u32,
+        /// Resolved concrete target, `u32::MAX` when untargeted.
+        target: u32,
+    },
+    /// A control-channel message was perturbed by an active fault window.
+    CtrlMsgPerturbed {
+        /// Perturbation: 0 = dropped rx, 1 = dropped tx, 2 = duplicated,
+        /// 3 = delayed (reorder).
+        kind: u32,
+    },
 }
 
 impl TraceEvent {
@@ -232,6 +258,9 @@ impl TraceEvent {
             TraceEvent::FailoverExecuted { .. }
             | TraceEvent::VSwitchJoined { .. }
             | TraceEvent::VSwitchRecovered { .. } => TraceCategory::Health,
+            TraceEvent::FaultInjected { .. }
+            | TraceEvent::FaultCleared { .. }
+            | TraceEvent::CtrlMsgPerturbed { .. } => TraceCategory::Fault,
         }
     }
 
@@ -244,7 +273,8 @@ impl TraceEvent {
             TraceEvent::FlowAdmitted { .. }
             | TraceEvent::FlowDropped { .. }
             | TraceEvent::RuleInstalled { .. }
-            | TraceEvent::PacketInEmitted { .. } => TraceLevel::Verbose,
+            | TraceEvent::PacketInEmitted { .. }
+            | TraceEvent::CtrlMsgPerturbed { .. } => TraceLevel::Verbose,
             _ => TraceLevel::Brief,
         }
     }
@@ -264,6 +294,9 @@ impl TraceEvent {
             TraceEvent::FailoverExecuted { .. } => "failover_executed",
             TraceEvent::VSwitchJoined { .. } => "vswitch_joined",
             TraceEvent::VSwitchRecovered { .. } => "vswitch_recovered",
+            TraceEvent::FaultInjected { .. } => "fault_injected",
+            TraceEvent::FaultCleared { .. } => "fault_cleared",
+            TraceEvent::CtrlMsgPerturbed { .. } => "ctrl_msg_perturbed",
         }
     }
 
@@ -336,6 +369,13 @@ impl TraceEvent {
             }
             TraceEvent::VSwitchJoined { node } => vec![("node", node as u64)],
             TraceEvent::VSwitchRecovered { node } => vec![("node", node as u64)],
+            TraceEvent::FaultInjected { kind, target } => {
+                vec![("kind", kind as u64), ("target", target as u64)]
+            }
+            TraceEvent::FaultCleared { kind, target } => {
+                vec![("kind", kind as u64), ("target", target as u64)]
+            }
+            TraceEvent::CtrlMsgPerturbed { kind } => vec![("kind", kind as u64)],
         }
     }
 }

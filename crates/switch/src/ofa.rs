@@ -72,6 +72,9 @@ pub struct Ofa {
     ceiling: f64,
     /// Saturation curve time constant, rules/s.
     tau: f64,
+    /// Service-time multiplier (fault injection: OFA slowdown). 1.0 is the
+    /// healthy agent; larger values slow both pipelines proportionally.
+    slowdown: f64,
     stats: OfaStats,
     rng: SimRng,
 }
@@ -93,8 +96,34 @@ impl Ofa {
             lossless: profile.rule_insert_lossless,
             ceiling: profile.rule_insert_ceiling,
             tau,
+            slowdown: 1.0,
             stats: OfaStats::default(),
             rng,
+        }
+    }
+
+    /// Set the service-time multiplier (fault injection). `1.0` restores
+    /// the healthy agent; `k > 1` makes Packet-In generation and rule
+    /// insertion `k`× slower.
+    pub fn set_slowdown(&mut self, factor: f64) {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "OFA slowdown factor must be positive, got {factor}"
+        );
+        self.slowdown = factor;
+    }
+
+    /// Current service-time multiplier (1.0 when healthy).
+    pub fn slowdown(&self) -> f64 {
+        self.slowdown
+    }
+
+    /// A service time scaled by the active slowdown factor.
+    fn scaled(&self, d: SimDuration) -> SimDuration {
+        if self.slowdown == 1.0 {
+            d
+        } else {
+            SimDuration::from_nanos((d.as_nanos() as f64 * self.slowdown).round() as u64)
         }
     }
 
@@ -102,7 +131,8 @@ impl Ofa {
     /// the Packet-In message leaves the OFA, or `None` if the queue
     /// overflowed and the packet is lost.
     pub fn offer_packet_in(&mut self, now: SimTime) -> Option<SimTime> {
-        match self.packet_in.offer(now, self.packet_in_service) {
+        let service = self.scaled(self.packet_in_service);
+        match self.packet_in.offer(now, service) {
             Admission::Accepted { departs_at } => {
                 self.stats.packet_in_sent += 1;
                 Some(departs_at)
@@ -142,7 +172,8 @@ impl Ofa {
             self.stats.rules_failed += 1;
             return None;
         }
-        match self.insert_server.offer(now, self.insert_service) {
+        let service = self.scaled(self.insert_service);
+        match self.insert_server.offer(now, service) {
             Admission::Accepted { departs_at } => {
                 self.stats.rules_inserted += 1;
                 Some(departs_at)
@@ -290,6 +321,29 @@ mod tests {
         let hw_rate = drive_packet_in(&mut hw, 20_000.0, 5.0);
         let sw_rate = drive_packet_in(&mut sw, 20_000.0, 5.0);
         assert!(sw_rate > 40.0 * hw_rate, "hw={hw_rate} sw={sw_rate}");
+    }
+
+    #[test]
+    fn slowdown_scales_packet_in_service() {
+        let mut ofa = pica8();
+        ofa.set_slowdown(4.0);
+        let a = ofa.offer_packet_in(SimTime::ZERO).unwrap();
+        let b = ofa.offer_packet_in(SimTime::ZERO).unwrap();
+        // 200/s healthy → 5 ms; 4× slowdown → 20 ms between departures.
+        assert_eq!(b.duration_since(a), SimDuration::from_millis(20));
+        ofa.set_slowdown(1.0);
+        assert_eq!(ofa.slowdown(), 1.0);
+    }
+
+    #[test]
+    fn slowdown_cuts_achieved_packet_in_rate() {
+        let mut ofa = pica8();
+        ofa.set_slowdown(10.0);
+        let achieved = drive_packet_in(&mut ofa, 2000.0, 10.0);
+        // Healthy plateau ~200/s; 10× slowdown → ~20/s served, plus the
+        // one-time 64-slot queue fill (64/10 s = 6.4/s of admissions).
+        let expected = 20.0 + 64.0 / 10.0;
+        assert!((achieved - expected).abs() < 5.0, "achieved {achieved}/s");
     }
 
     #[test]

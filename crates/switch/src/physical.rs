@@ -119,6 +119,12 @@ impl PhysicalSwitch {
         self.profile.control_latency
     }
 
+    /// Set the OFA's service-time multiplier (fault injection: OFA
+    /// slowdown). `1.0` restores the healthy agent.
+    pub fn set_ofa_slowdown(&mut self, factor: f64) {
+        self.ofa.set_slowdown(factor);
+    }
+
     /// Fig. 10: does the shared CPU drop this data packet? Consumes one
     /// observation of the offered data rate either way.
     fn interaction_drops(&mut self, now: SimTime) -> bool {

@@ -36,6 +36,9 @@ pub struct VSwitchStats {
     pub dropped_agent: u64,
     /// Tunneled packets decapsulated here.
     pub decapsulated: u64,
+    /// Controller messages silently absorbed while failed (the conservation
+    /// invariant of the chaos harness accounts FlowMods against this).
+    pub ctrl_absorbed: u64,
 }
 
 impl VSwitchStats {
@@ -49,6 +52,7 @@ impl VSwitchStats {
         );
         reg.add(&format!("{prefix}.dropped_agent"), self.dropped_agent);
         reg.add(&format!("{prefix}.decapsulated"), self.decapsulated);
+        reg.add(&format!("{prefix}.ctrl_absorbed"), self.ctrl_absorbed);
     }
 }
 
@@ -122,6 +126,12 @@ impl VSwitch {
     /// One-way control-channel latency.
     pub fn control_latency(&self) -> SimDuration {
         self.profile.control_latency
+    }
+
+    /// Set the agent's service-time multiplier (fault injection: OFA
+    /// slowdown). `1.0` restores the healthy agent.
+    pub fn set_ofa_slowdown(&mut self, factor: f64) {
+        self.ofa.set_slowdown(factor);
     }
 
     /// Process a data-plane packet.
@@ -306,6 +316,7 @@ impl VSwitch {
     /// detection relies on this, §5.6).
     pub fn handle_controller_msg(&mut self, now: SimTime, msg: ControllerToSwitch) -> Vec<Output> {
         if self.failed {
+            self.stats.ctrl_absorbed += 1;
             return Vec::new();
         }
         match msg {
