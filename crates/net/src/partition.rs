@@ -1,0 +1,170 @@
+//! Shard partition map for conservative parallel simulation.
+//!
+//! A [`Partition`] assigns every node of a [`Topology`] to a shard. Shard 0
+//! is the hub: it holds the controller, the spine, and every node not named
+//! by a region; each region (a rack in the Scotch topologies) is folded onto
+//! one of the remaining shards round-robin. The partition also computes the
+//! *lookahead* of the cut — the minimum propagation delay over links whose
+//! endpoints live on different shards — which bounds how far shards may run
+//! ahead of each other between barriers without missing a cross-shard
+//! arrival.
+
+use crate::topology::{NodeId, Topology};
+use scotch_sim::SimDuration;
+
+/// The smallest lookahead a partition is allowed to have. An inter-shard
+/// link with propagation below this floor would force epochs so short that
+/// the barrier overhead dominates; such topologies are rejected outright at
+/// construction rather than silently crawling.
+pub const MIN_LOOKAHEAD: SimDuration = SimDuration::from_micros(1);
+
+/// Node → shard assignment derived from region lists.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    shard_of: Vec<u32>,
+    shards: u32,
+}
+
+impl Partition {
+    /// Build a partition of `node_count` nodes from `regions`, using at most
+    /// `max_shards` shards. Nodes absent from every region land on shard 0;
+    /// region `r` maps to shard `1 + (r mod (shards - 1))`. The effective
+    /// shard count is `min(max_shards, regions + 1)` and is clamped to at
+    /// least 1; with one effective shard everything is shard 0.
+    pub fn by_regions(node_count: usize, regions: &[Vec<NodeId>], max_shards: usize) -> Partition {
+        let shards = max_shards.clamp(1, regions.len() + 1) as u32;
+        let mut shard_of = vec![0u32; node_count];
+        if shards > 1 {
+            for (r, region) in regions.iter().enumerate() {
+                let s = 1 + (r as u32) % (shards - 1);
+                for node in region {
+                    shard_of[node.0 as usize] = s;
+                }
+            }
+        }
+        Partition { shard_of, shards }
+    }
+
+    /// Number of shards (≥ 1).
+    pub fn shards(&self) -> u32 {
+        self.shards
+    }
+
+    /// The shard owning `node`.
+    pub fn shard_of(&self, node: NodeId) -> u32 {
+        self.shard_of[node.0 as usize]
+    }
+
+    /// True when the partition is degenerate (one shard — plain sequential
+    /// execution).
+    pub fn is_trivial(&self) -> bool {
+        self.shards <= 1
+    }
+
+    /// Minimum propagation delay over links whose endpoints are on
+    /// different shards, or `None` when no link crosses the cut.
+    ///
+    /// Propagation is a hard lower bound on a link's delivery delay
+    /// (serialization and queueing only add to it), so this is a valid
+    /// conservative lookahead for the cut.
+    pub fn min_cross_propagation(&self, topo: &Topology) -> Option<SimDuration> {
+        let mut min: Option<SimDuration> = None;
+        for l in 0..topo.link_count() {
+            let (from, _, to, _) = topo.link_endpoints(crate::LinkId(l as u32));
+            if self.shard_of(from) != self.shard_of(to) {
+                let p = topo.link_state(crate::LinkId(l as u32)).spec().propagation;
+                min = Some(min.map_or(p, |m| m.min(p)));
+            }
+        }
+        min
+    }
+
+    /// Validate that every inter-shard link clears [`MIN_LOOKAHEAD`].
+    ///
+    /// Returns the cut's lookahead contribution on success (`None` when no
+    /// link crosses the cut). A cross-shard link with propagation below the
+    /// floor makes conservative epochs useless, so scenario construction
+    /// must reject it.
+    pub fn validate_lookahead(&self, topo: &Topology) -> Result<Option<SimDuration>, String> {
+        for l in 0..topo.link_count() {
+            let (from, _, to, _) = topo.link_endpoints(crate::LinkId(l as u32));
+            if self.shard_of(from) != self.shard_of(to) {
+                let p = topo.link_state(crate::LinkId(l as u32)).spec().propagation;
+                if p < MIN_LOOKAHEAD {
+                    return Err(format!(
+                        "inter-shard link {} -> {} has propagation {}ns, below the \
+                         {}ns lookahead floor; widen the link or merge the regions",
+                        topo.name(from),
+                        topo.name(to),
+                        p.as_nanos(),
+                        MIN_LOOKAHEAD.as_nanos()
+                    ));
+                }
+            }
+        }
+        Ok(self.min_cross_propagation(topo))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::NodeKind;
+    use crate::LinkSpec;
+
+    fn two_rack_topo() -> (Topology, Vec<Vec<NodeId>>) {
+        let mut t = Topology::new();
+        let spine = t.add_node(NodeKind::PhysicalSwitch, "spine");
+        let tor0 = t.add_node(NodeKind::PhysicalSwitch, "tor0");
+        let tor1 = t.add_node(NodeKind::PhysicalSwitch, "tor1");
+        t.add_duplex_link(spine, tor0, LinkSpec::tengig());
+        t.add_duplex_link(spine, tor1, LinkSpec::tengig());
+        (t, vec![vec![tor0], vec![tor1]])
+    }
+
+    #[test]
+    fn regions_fold_round_robin() {
+        let (t, regions) = two_rack_topo();
+        let p = Partition::by_regions(t.node_count(), &regions, 2);
+        assert_eq!(p.shards(), 2);
+        assert_eq!(p.shard_of(NodeId(0)), 0); // spine: hub
+        assert_eq!(p.shard_of(NodeId(1)), 1);
+        assert_eq!(p.shard_of(NodeId(2)), 1); // folded onto the same shard
+        let p3 = Partition::by_regions(t.node_count(), &regions, 8);
+        assert_eq!(p3.shards(), 3); // clamped to regions + 1
+        assert_eq!(p3.shard_of(NodeId(1)), 1);
+        assert_eq!(p3.shard_of(NodeId(2)), 2);
+    }
+
+    #[test]
+    fn trivial_partition_is_all_shard_zero() {
+        let (t, regions) = two_rack_topo();
+        let p = Partition::by_regions(t.node_count(), &regions, 1);
+        assert!(p.is_trivial());
+        assert!((0..t.node_count()).all(|n| p.shard_of(NodeId(n as u32)) == 0));
+        assert_eq!(p.min_cross_propagation(&t), None);
+    }
+
+    #[test]
+    fn cross_propagation_is_cut_minimum() {
+        let (t, regions) = two_rack_topo();
+        let p = Partition::by_regions(t.node_count(), &regions, 3);
+        // tengig propagation is 5 µs.
+        assert_eq!(
+            p.min_cross_propagation(&t),
+            Some(SimDuration::from_micros(5))
+        );
+        assert!(p.validate_lookahead(&t).is_ok());
+    }
+
+    #[test]
+    fn sub_floor_cross_link_is_rejected() {
+        let mut t = Topology::new();
+        let a = t.add_node(NodeKind::PhysicalSwitch, "a");
+        let b = t.add_node(NodeKind::PhysicalSwitch, "b");
+        t.add_duplex_link(a, b, LinkSpec::gbps(10.0, 0)); // zero propagation
+        let p = Partition::by_regions(t.node_count(), &[vec![b]], 2);
+        let err = p.validate_lookahead(&t).unwrap_err();
+        assert!(err.contains("lookahead floor"), "{err}");
+    }
+}

@@ -189,6 +189,12 @@ pub struct ScotchApp {
     /// Flight recorder for control-plane decisions. Disabled by default;
     /// a disabled recorder costs one branch per site (DESIGN.md §10).
     pub trace: TraceRecorder,
+    /// Journal of flow-path mutations `(time, key, path after mutation)`.
+    /// `None` (and zero-cost) in sequential runs; sharded execution enables
+    /// it on the controller shard so the epoch driver, which applies host
+    /// deliveries at barriers, can resolve a flow's `served_by` as of its
+    /// first delivery time.
+    pub flow_journal: Option<Vec<(SimTime, FlowKey, Option<FlowPath>)>>,
 }
 
 impl ScotchApp {
@@ -220,6 +226,16 @@ impl ScotchApp {
             pending: FxHashSet::default(),
             stats: AppStats::default(),
             trace: TraceRecorder::disabled(),
+            flow_journal: None,
+        }
+    }
+
+    /// Append the post-mutation path of `key` to the shard journal. No-op
+    /// in sequential runs, where `deliver` reads the flowdb directly.
+    fn journal_flow(&mut self, now: SimTime, key: FlowKey) {
+        if let Some(journal) = self.flow_journal.as_mut() {
+            let path = self.flowdb.get(&key).map(|info| info.path);
+            journal.push((now, key, path));
         }
     }
 
@@ -428,6 +444,7 @@ impl ScotchApp {
                         };
                         if ends_flow {
                             self.flowdb.remove(&key);
+                            self.journal_flow(now, key);
                         }
                     }
                 }
@@ -704,6 +721,7 @@ impl ScotchApp {
 
         self.flowdb
             .record(pf.key, pf.origin, pf.origin_port, now, FlowPath::Physical);
+        self.journal_flow(now, pf.key);
         self.stats.physical_admitted += 1;
         self.trace.record(
             now,
@@ -858,6 +876,7 @@ impl ScotchApp {
 
         self.flowdb
             .record(pf.key, pf.origin, pf.origin_port, now, FlowPath::Overlay);
+        self.journal_flow(now, pf.key);
         self.stats.overlay_admitted += 1;
         self.trace.record(
             now,
@@ -946,6 +965,7 @@ impl ScotchApp {
             out.extend(origin_rules);
         }
         self.flowdb.mark_migrated(&job.key);
+        self.journal_flow(now, job.key);
         self.stats.migrations += 1;
         self.trace.record(
             now,

@@ -6,6 +6,7 @@
 //! scotch-cli sweep [SWEEP OPTIONS]
 //! scotch-cli bench hotpath [BENCH OPTIONS]
 //! scotch-cli chaos [SCENARIO OPTIONS] [CHAOS OPTIONS]
+//! scotch-cli determinism [DETERMINISM OPTIONS]
 //!
 //! Topology:
 //!   --scenario <datacenter|single|multirack>   (default: datacenter)
@@ -28,6 +29,14 @@
 //!   --duration <SECS>   simulated seconds               (default: 10)
 //!   --json              machine-readable summary on stdout
 //!   --pcap <NODE> <FILE>  capture packets arriving at the named node
+//!
+//! Sharded execution (multirack only; other topologies fall back to the
+//! sequential engine — the canonical report is identical either way):
+//!   --shards <N>        partition racks across up to N shards (default: 1)
+//!   --threads <N>       lockstep worker threads, 0 = one per shard
+//!   --interrack-us <N>  ToR-spine propagation in µs (widens the
+//!                       conservative lookahead window)
+//!   --rack-clients <RATE>  per-rack probe clients, flows/s each
 //!
 //! Sweep (multi-seed batches on the shared parallel runner):
 //!   --smoke             CI preset: tiny horizons, 2 seeds, all scenarios
@@ -65,6 +74,13 @@
 //!                       clock, observability-only)
 //!   --trace-overhead    measure tracing disabled vs enabled at the
 //!                       default level; warn if overhead exceeds 5%
+//!   --shards <N>        run every scenario on the sharded engine with up
+//!                       to N shards, and add the `multirack_sharded`
+//!                       fabric (wide lookahead, per-rack sources) to the
+//!                       measured set
+//!   --gate              exit 1 when any scenario regresses more than 10%
+//!                       vs the baseline (soft perf gate; without this
+//!                       flag regressions only warn)
 //!   --quiet             suppress per-scenario progress lines
 //!
 //! Chaos (deterministic fault injection + invariant checking; accepts the
@@ -81,7 +97,23 @@
 //!   --plan-out <FILE>   write the (shrunk) failing plan
 //!
 //! `chaos` exits 0 on a clean run, 1 when an invariant was violated
-//! (or `--search` found a failing plan), 2 on usage errors.
+//! (or `--search` found a failing plan), 2 on usage errors. With
+//! `--shards N` (N > 1) the same `(scenario, seed, plan)` is re-run on the
+//! sharded engine and the canonical reports are byte-compared; a
+//! divergence also exits 1. (`--search` stays sequential.)
+//!
+//! Determinism (shard-count invariance matrix; the local mirror of CI's
+//! `determinism-matrix` job):
+//!   --shards <CSV>      shard counts to compare vs sequential
+//!                       (default: 2,4,8)
+//!   --threads <N>       lockstep worker threads, 0 = one per shard
+//!   --duration <SECS>   simulated seconds per case       (default: 2)
+//!   --plan <FILE>       pinned fault plan for the chaos case (default:
+//!                       a generated plan)
+//!
+//! `determinism` runs each matrix scenario sequentially, then at every
+//! requested shard count, and byte-compares the canonical reports; any
+//! divergence exits 1.
 //!
 //! `sweep` fans each `(scenario, seed)` pair out on the work-stealing
 //! runner, prints one progress line per finished job, and writes a
@@ -113,6 +145,10 @@ struct Options {
     duration: f64,
     json: bool,
     pcap: Option<(String, String)>,
+    shards: usize,
+    threads: usize,
+    interrack_us: Option<u64>,
+    rack_clients: Option<f64>,
 }
 
 impl Default for Options {
@@ -134,6 +170,10 @@ impl Default for Options {
             duration: 10.0,
             json: false,
             pcap: None,
+            shards: 1,
+            threads: 0,
+            interrack_us: None,
+            rack_clients: None,
         }
     }
 }
@@ -203,6 +243,33 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .map_err(|e| format!("--duration: {e}"))?
             }
             "--json" => o.json = true,
+            "--shards" => {
+                o.shards = next(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?;
+                if o.shards == 0 {
+                    return Err("--shards must be at least 1".into());
+                }
+            }
+            "--threads" => {
+                o.threads = next(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?
+            }
+            "--interrack-us" => {
+                o.interrack_us = Some(
+                    next(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("--interrack-us: {e}"))?,
+                )
+            }
+            "--rack-clients" => {
+                o.rack_clients = Some(
+                    next(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("--rack-clients: {e}"))?,
+                )
+            }
             "--pcap" => {
                 let node = next(&mut i)?;
                 let file = next(&mut i)?;
@@ -250,6 +317,12 @@ fn build_scenario(o: &Options) -> Scenario {
     }
     if o.link_loss > 0.0 {
         s = s.with_link_loss(o.link_loss);
+    }
+    if let Some(us) = o.interrack_us {
+        s = s.with_interrack_propagation(SimDuration::from_micros(us));
+    }
+    if let Some(rate) = o.rack_clients {
+        s = s.with_rack_clients(rate);
     }
     if o.baseline {
         s = s.with_mode(ControllerMode::Baseline);
@@ -631,6 +704,8 @@ struct BenchOptions {
     iters: u32,
     profile: bool,
     trace_overhead: bool,
+    shards: usize,
+    gate: bool,
     quiet: bool,
 }
 
@@ -643,6 +718,8 @@ impl Default for BenchOptions {
             iters: 3,
             profile: false,
             trace_overhead: false,
+            shards: 1,
+            gate: false,
             quiet: false,
         }
     }
@@ -665,6 +742,15 @@ fn parse_bench_args(args: &[String]) -> Result<BenchOptions, String> {
             "--iters" => o.iters = next(&mut i)?.parse().map_err(|e| format!("--iters: {e}"))?,
             "--profile" => o.profile = true,
             "--trace-overhead" => o.trace_overhead = true,
+            "--shards" => {
+                o.shards = next(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?;
+                if o.shards == 0 {
+                    return Err("--shards must be at least 1".into());
+                }
+            }
+            "--gate" => o.gate = true,
             "--quiet" => o.quiet = true,
             "--help" | "-h" => return Err("help".into()),
             other => return Err(format!("unknown bench option {other}")),
@@ -724,6 +810,24 @@ fn hotpath_scenarios() -> Vec<(&'static str, Box<dyn Fn() -> Scenario>, SimTime)
     ]
 }
 
+/// The scenario shape sharding is built for, added to the measured set by
+/// `bench hotpath --shards N`: many racks with locally-sourced traffic and
+/// a wide inter-rack lookahead window.
+#[allow(clippy::type_complexity)]
+fn sharded_bench_scenario() -> (&'static str, Box<dyn Fn() -> Scenario>, SimTime) {
+    (
+        "multirack_sharded",
+        Box::new(|| {
+            Scenario::multirack(8, 1)
+                .with_interrack_propagation(SimDuration::from_micros(200))
+                .with_rack_clients(400.0)
+                .with_clients(100.0)
+                .with_attack(2_000.0)
+        }),
+        SimTime::from_secs(5),
+    )
+}
+
 /// One measured scenario result.
 struct BenchResult {
     name: &'static str,
@@ -733,14 +837,22 @@ struct BenchResult {
     events_per_sec: f64,
 }
 
-fn run_hotpath(iters: u32, quiet: bool) -> Vec<BenchResult> {
+fn run_hotpath(iters: u32, quiet: bool, shards: usize) -> Vec<BenchResult> {
     let mut results = Vec::new();
-    for (name, make, horizon) in hotpath_scenarios() {
+    let mut scenarios = hotpath_scenarios();
+    if shards > 1 {
+        scenarios.push(sharded_bench_scenario());
+    }
+    for (name, make, horizon) in scenarios {
         let mut best: Option<(u64, f64)> = None; // (events, wall)
         for _ in 0..iters {
             let sim = make().build_until(HOTPATH_SEED, horizon);
             let start = std::time::Instant::now();
-            let report = sim.run(horizon);
+            let report = if shards > 1 {
+                sim.run_sharded(horizon, shards, 0)
+            } else {
+                sim.run(horizon)
+            };
             let wall = start.elapsed().as_secs_f64();
             let events = report.events_processed;
             if let Some((prev_events, _)) = best {
@@ -836,7 +948,7 @@ fn bench_main(args: &[String]) -> i32 {
         }
     };
 
-    let results = run_hotpath(opts.iters, opts.quiet);
+    let results = run_hotpath(opts.iters, opts.quiet, opts.shards);
     let doc = scotch_runner::Json::obj()
         .set("bench", "hotpath")
         .set(
@@ -850,6 +962,7 @@ fn bench_main(args: &[String]) -> i32 {
     }
     eprintln!("wrote {}", opts.out);
 
+    let mut regressed = false;
     if let Some(path) = &opts.baseline {
         match std::fs::read_to_string(path) {
             Ok(text) => {
@@ -864,8 +977,11 @@ fn bench_main(args: &[String]) -> i32 {
                                 r.name, r.events_per_sec, b
                             );
                             if ratio < 0.9 {
-                                // Warn, never fail: CI runners have noisy
-                                // clocks and this is a trajectory, not a gate.
+                                // A soft gate: a >10% drop fails only when
+                                // --gate is set (same runner class as the
+                                // committed baseline); otherwise CI runner
+                                // clock noise makes this a warning.
+                                regressed = true;
                                 eprintln!(
                                     "warning: hotpath regression on {}: {ratio:.2}x vs baseline",
                                     r.name
@@ -918,6 +1034,10 @@ fn bench_main(args: &[String]) -> i32 {
         if worst > 5.0 {
             eprintln!("warning: tracing overhead {worst:.1}% exceeds the 5% budget");
         }
+    }
+    if opts.gate && regressed {
+        eprintln!("error: --gate set and at least one scenario regressed >10%");
+        return 1;
     }
     0
 }
@@ -1133,6 +1253,26 @@ fn chaos_main(args: &[String]) -> i32 {
                 eprintln!("warning: failed to write {path}: {e}");
             }
         }
+        // Shard-count invariance check: the same (scenario, seed, plan) on
+        // the sharded engine must reproduce the sequential canonical
+        // report byte-for-byte. (The invariant checker itself always runs
+        // on the sequential report — it needs the full trace.)
+        if opts.shards > 1 {
+            let sharded = build_scenario(&opts)
+                .with_fault_plan(plan.clone())
+                .run_sharded(horizon, opts.seed, opts.shards, opts.threads);
+            if sharded.canonical_json() != outcome.report.canonical_json() {
+                eprintln!(
+                    "error: canonical report diverged at --shards {}",
+                    opts.shards
+                );
+                return 1;
+            }
+            println!(
+                "chaos: canonical report identical at --shards {}",
+                opts.shards
+            );
+        }
         if outcome.violations.is_empty() {
             println!("chaos: all invariants hold");
             return 0;
@@ -1193,10 +1333,186 @@ fn chaos_main(args: &[String]) -> i32 {
     0
 }
 
+/// Parsed `determinism` subcommand line.
+#[derive(Debug, Clone, PartialEq)]
+struct DeterminismOptions {
+    shards: Vec<usize>,
+    threads: usize,
+    duration: f64,
+    plan: Option<String>,
+}
+
+impl Default for DeterminismOptions {
+    fn default() -> Self {
+        DeterminismOptions {
+            shards: vec![2, 4, 8],
+            threads: 0,
+            duration: 2.0,
+            plan: None,
+        }
+    }
+}
+
+fn parse_determinism_args(args: &[String]) -> Result<DeterminismOptions, String> {
+    let mut o = DeterminismOptions::default();
+    let mut i = 0;
+    let next = |i: &mut usize| -> Result<String, String> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("missing value after {}", args[*i - 1]))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--shards" => {
+                let csv = next(&mut i)?;
+                let mut list = Vec::new();
+                for part in csv.split(',').filter(|s| !s.is_empty()) {
+                    let n: usize = part
+                        .trim()
+                        .parse()
+                        .map_err(|e| format!("--shards '{part}': {e}"))?;
+                    if n < 2 {
+                        return Err("--shards entries must be at least 2".into());
+                    }
+                    list.push(n);
+                }
+                if list.is_empty() {
+                    return Err("--shards needs at least one count".into());
+                }
+                o.shards = list;
+            }
+            "--threads" => {
+                o.threads = next(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?
+            }
+            "--duration" => {
+                o.duration = next(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--duration: {e}"))?
+            }
+            "--plan" => o.plan = Some(next(&mut i)?),
+            "--help" | "-h" => return Err("help".into()),
+            other => return Err(format!("unknown determinism option {other}")),
+        }
+        i += 1;
+    }
+    Ok(o)
+}
+
+/// The determinism matrix's scenario set: the golden-report shapes (which
+/// exercise the sequential-fallback clamp) plus multirack variants that
+/// genuinely partition, including one under a fault plan.
+#[allow(clippy::type_complexity)]
+fn determinism_cases(
+    plan: scotch_sim::fault::FaultPlan,
+) -> Vec<(&'static str, Box<dyn Fn() -> Scenario>)> {
+    let parallel = || {
+        Scenario::multirack(4, 1)
+            .with_interrack_propagation(SimDuration::from_micros(200))
+            .with_rack_clients(150.0)
+            .with_clients(80.0)
+            .with_attack(400.0)
+    };
+    vec![
+        (
+            "single_ddos",
+            Box::new(|| {
+                Scenario::single_switch(scotch_switch::SwitchProfile::pica8_pronto_3780())
+                    .with_clients(100.0)
+                    .with_attack(2_000.0)
+            }) as Box<dyn Fn() -> Scenario>,
+        ),
+        (
+            "overlay_ddos",
+            Box::new(|| {
+                Scenario::overlay_datacenter(4)
+                    .with_servers(2)
+                    .with_clients(100.0)
+                    .with_attack(2_000.0)
+            }),
+        ),
+        ("multirack_parallel", Box::new(parallel)),
+        (
+            "multirack_chaos",
+            Box::new(move || parallel().with_fault_plan(plan.clone())),
+        ),
+    ]
+}
+
+/// Determinism matrix seed — the goldens' seed, so the sequential arm of
+/// the matrix pins the exact reports the golden tests check.
+const DETERMINISM_SEED: u64 = 20141202;
+
+fn determinism_main(args: &[String]) -> i32 {
+    let opts = match parse_determinism_args(args) {
+        Ok(o) => o,
+        Err(e) => {
+            if e != "help" {
+                eprintln!("error: {e}\n");
+            }
+            eprintln!("usage: scotch-cli determinism [--shards CSV] [--threads N]");
+            eprintln!("                              [--duration SECS] [--plan FILE]");
+            return if e == "help" { 0 } else { 2 };
+        }
+    };
+    let horizon = SimTime::from_secs_f64(opts.duration);
+    let plan = match &opts.plan {
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("error: cannot read plan {path}: {e}");
+                    return 2;
+                }
+            };
+            match scotch_sim::fault::FaultPlan::parse(&text) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("error: bad plan {path}: {e}");
+                    return 2;
+                }
+            }
+        }
+        None => scotch::chaos::generate_plan(
+            DETERMINISM_SEED,
+            SimDuration::from_secs_f64(opts.duration),
+            8,
+        ),
+    };
+
+    let mut diverged = 0u32;
+    for (name, make) in determinism_cases(plan) {
+        let base = make().run(horizon, DETERMINISM_SEED).canonical_json();
+        for &k in &opts.shards {
+            let got = make()
+                .run_sharded(horizon, DETERMINISM_SEED, k, opts.threads)
+                .canonical_json();
+            if got == base {
+                println!("determinism: {name} --shards {k}: ok");
+            } else {
+                diverged += 1;
+                eprintln!("determinism: {name} --shards {k}: DIVERGED");
+            }
+        }
+    }
+    if diverged > 0 {
+        eprintln!("error: {diverged} matrix cell(s) diverged from the sequential report");
+        1
+    } else {
+        println!("determinism: all cells byte-identical");
+        0
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("trace") {
         std::process::exit(trace_main(&args[1..]));
+    }
+    if args.first().map(String::as_str) == Some("determinism") {
+        std::process::exit(determinism_main(&args[1..]));
     }
     if args.first().map(String::as_str) == Some("chaos") {
         std::process::exit(chaos_main(&args[1..]));
@@ -1232,7 +1548,14 @@ fn main() {
         found
     });
 
-    let report = sim.run(horizon);
+    // The sharded engine clamps non-partitionable scenarios to the
+    // sequential path itself; the trace workload clamp mirrors
+    // `Scenario::run_sharded` (multi-host sources cannot be partitioned).
+    let report = if opts.shards > 1 && opts.trace.is_none() {
+        sim.run_sharded(horizon, opts.shards, opts.threads)
+    } else {
+        sim.run(horizon)
+    };
 
     if let (Some(node), Some((_, file))) = (pcap_node, opts.pcap.as_ref()) {
         if let Some(cap) = report.captures.get(&node) {
@@ -1421,6 +1744,56 @@ mod tests {
         let o = parse_bench("--profile --trace-overhead").unwrap();
         assert!(o.profile);
         assert!(o.trace_overhead);
+    }
+
+    #[test]
+    fn shard_flags_parse() {
+        let o = parse(
+            "--scenario multirack --racks 4 --shards 4 --threads 2 \
+             --interrack-us 200 --rack-clients 150",
+        )
+        .unwrap();
+        assert_eq!(o.shards, 4);
+        assert_eq!(o.threads, 2);
+        assert_eq!(o.interrack_us, Some(200));
+        assert_eq!(o.rack_clients, Some(150.0));
+        assert!(parse("--shards 0").is_err());
+        assert!(parse("--shards").is_err());
+    }
+
+    fn parse_det(s: &str) -> Result<DeterminismOptions, String> {
+        let args: Vec<String> = s.split_whitespace().map(String::from).collect();
+        parse_determinism_args(&args)
+    }
+
+    #[test]
+    fn determinism_flags_parse() {
+        assert_eq!(parse_det("").unwrap(), DeterminismOptions::default());
+        let o = parse_det("--shards 2,4 --threads 3 --duration 1.5 --plan p.plan").unwrap();
+        assert_eq!(o.shards, vec![2, 4]);
+        assert_eq!(o.threads, 3);
+        assert_eq!(o.duration, 1.5);
+        assert_eq!(o.plan.as_deref(), Some("p.plan"));
+        assert!(parse_det("--shards 1").is_err());
+        assert!(parse_det("--shards ,").is_err());
+        assert!(parse_det("--bogus").is_err());
+    }
+
+    #[test]
+    fn bench_shards_and_gate_flags() {
+        let o = parse_bench("--shards 8 --gate").unwrap();
+        assert_eq!(o.shards, 8);
+        assert!(o.gate);
+        assert!(parse_bench("--shards 0").is_err());
+    }
+
+    #[test]
+    fn determinism_cases_build() {
+        let plan = scotch::chaos::generate_plan(1, SimDuration::from_secs(2), 4);
+        for (name, make) in determinism_cases(plan) {
+            assert!(!name.is_empty());
+            let _sim = make().build(1);
+        }
     }
 
     fn parse_sweep(s: &str) -> Result<SweepOptions, String> {

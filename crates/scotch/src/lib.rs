@@ -64,6 +64,7 @@ pub mod pcap;
 pub mod queues;
 pub mod report;
 pub mod scenario;
+mod shard;
 pub mod sim;
 
 pub use app::ScotchApp;

@@ -103,6 +103,8 @@ pub struct Scenario {
     horizon: SimTime,
     tracing: Option<TraceConfig>,
     chaos_plan: Option<FaultPlan>,
+    interrack_propagation: Option<SimDuration>,
+    rack_clients: Option<f64>,
 }
 
 impl Scenario {
@@ -128,6 +130,8 @@ impl Scenario {
             horizon: SimTime::from_secs(3600),
             tracing: None,
             chaos_plan: None,
+            interrack_propagation: None,
+            rack_clients: None,
         }
     }
 
@@ -154,6 +158,8 @@ impl Scenario {
             horizon: SimTime::from_secs(3600),
             tracing: None,
             chaos_plan: None,
+            interrack_propagation: None,
+            rack_clients: None,
         }
     }
 
@@ -318,6 +324,26 @@ impl Scenario {
         self
     }
 
+    /// Builder (multi-rack only): set the ToR–spine propagation delay.
+    /// Physically this models racks in different rooms or buildings; for
+    /// sharded runs it widens the conservative lookahead window (which is
+    /// bounded by the minimum cross-rack link latency), letting shards
+    /// advance further between synchronization barriers.
+    pub fn with_interrack_propagation(mut self, p: SimDuration) -> Self {
+        self.interrack_propagation = Some(p);
+        self
+    }
+
+    /// Builder (multi-rack only): attach one client host per rack, each
+    /// sending single-packet probe flows at `rate` flows/s to its own
+    /// rack's server. This gives every rack locally-sourced traffic, so a
+    /// sharded run has real work on every shard instead of funnelling all
+    /// flows through rack 0.
+    pub fn with_rack_clients(mut self, rate: f64) -> Self {
+        self.rack_clients = Some(rate);
+        self
+    }
+
     /// Builder: attach a declarative fault plan (chaos harness). The plan's
     /// probabilistic faults draw from a dedicated RNG stream forked from the
     /// scenario seed, so `(scenario, seed, plan)` replays bit-identically.
@@ -371,6 +397,12 @@ impl Scenario {
         IpAddr::new(10, 0, 1, i as u8)
     }
 
+    /// Address of rack `r`'s local client (multi-rack topologies with
+    /// [`Scenario::with_rack_clients`]).
+    pub fn rack_client_ip(r: usize) -> IpAddr {
+        IpAddr::new(10, 0, 2, r as u8)
+    }
+
     /// Build the simulation. Deterministic in `(self, seed)`.
     pub fn build(self, seed: u64) -> Simulation {
         self.build_for(seed, f64::INFINITY)
@@ -420,6 +452,23 @@ impl Scenario {
     /// flowdb capacity hint is horizon-clamped).
     pub fn run(self, until: SimTime, seed: u64) -> Report {
         self.build_until(seed, until).run(until)
+    }
+
+    /// Build and run partitioned across up to `shards` shards on `threads`
+    /// worker threads (0 = one per shard). Produces the identical canonical
+    /// report for every `(shards, threads)` — see the `shard` module.
+    /// Scenarios the partitioner cannot handle (single-rack topologies,
+    /// per-packet link faults, the multi-host trace workload) fall back to
+    /// the sequential engine, which is always equivalent.
+    pub fn run_sharded(self, until: SimTime, seed: u64, shards: usize, threads: usize) -> Report {
+        // TraceWorkload emits flows whose source addresses span every host
+        // in the network, but a flow source is pinned to one default host;
+        // shard-partitioning by host would misplace its emissions.
+        if self.trace_rate.is_some() {
+            return self.run(until, seed);
+        }
+        self.build_until(seed, until)
+            .run_sharded(until, shards, threads)
     }
 
     fn data_link(&self) -> LinkSpec {
@@ -625,9 +674,16 @@ impl Scenario {
         let mut host_vswitches = Vec::new();
         let mut mesh: Vec<NodeId> = Vec::new();
         let mut rack_mesh: Vec<Vec<NodeId>> = Vec::new();
+        let uplink = {
+            let mut l = LinkSpec::tengig();
+            if let Some(p) = self.interrack_propagation {
+                l.propagation = p;
+            }
+            l
+        };
         for r in 0..racks {
             let tor = topo.add_node(NodeKind::PhysicalSwitch, format!("tor{r}"));
-            topo.add_duplex_link(tor, spine, LinkSpec::tengig());
+            topo.add_duplex_link(tor, spine, uplink);
             tors.push(tor);
             let w = topo.add_node(NodeKind::VSwitch, format!("hostvsw{r}"));
             topo.add_duplex_link(tor, w, self.edge_link());
@@ -648,12 +704,23 @@ impl Scenario {
         let client = topo.add_node(NodeKind::Host, "client");
         topo.add_duplex_link(attacker, tors[0], LinkSpec::tengig());
         topo.add_duplex_link(client, tors[0], LinkSpec::tengig());
+        let mut rack_client_hosts = Vec::new();
+        if self.rack_clients.is_some() {
+            for (r, tor) in tors.iter().enumerate() {
+                let h = topo.add_node(NodeKind::Host, format!("rackclient{r}"));
+                topo.add_duplex_link(h, *tor, LinkSpec::tengig());
+                rack_client_hosts.push(h);
+            }
+        }
 
         let mut book = AddressBook::new();
         book.register(&topo, Self::client_ip(), client, tors[0]);
         book.register(&topo, Self::attacker_ip(), attacker, tors[0]);
         for (r, srv) in servers.iter().enumerate() {
             book.register(&topo, Self::server_ip(r), *srv, host_vswitches[r]);
+        }
+        for (r, h) in rack_client_hosts.iter().enumerate() {
+            book.register(&topo, Self::rack_client_ip(r), *h, tors[r]);
         }
 
         let mut physical = vec![spine];
@@ -704,6 +771,28 @@ impl Scenario {
         for (r, srv) in servers.iter().enumerate() {
             sim.add_host(*srv, Self::server_ip(r));
         }
+        for (r, h) in rack_client_hosts.iter().enumerate() {
+            sim.add_host(*h, Self::rack_client_ip(r));
+        }
+
+        // Shard partition map: rack r's subtree (ToR, host vSwitch, server,
+        // local mesh, local client) is region r. The spine — and with it
+        // the controller — stays on the hub shard. Attacker and client hang
+        // off ToR 0, so they ride in rack 0's region; their uplinks are
+        // then intra-shard and only the ToR–spine links are cut.
+        let mut regions: Vec<Vec<NodeId>> = (0..racks)
+            .map(|r| {
+                let mut v = vec![tors[r], host_vswitches[r], servers[r]];
+                v.extend(&rack_mesh[r]);
+                if let Some(h) = rack_client_hosts.get(r) {
+                    v.push(*h);
+                }
+                v
+            })
+            .collect();
+        regions[0].push(attacker);
+        regions[0].push(client);
+        sim.regions = regions;
 
         if let Some((idx, at)) = self.fail_vswitch {
             if idx < mesh.len() {
@@ -711,7 +800,12 @@ impl Scenario {
             }
         }
 
-        self.attach_workloads(&mut sim, attacker, client, &mut rng);
+        let rack: Vec<(NodeId, IpAddr, IpAddr)> = rack_client_hosts
+            .iter()
+            .enumerate()
+            .map(|(r, h)| (*h, Self::rack_client_ip(r), Self::server_ip(r)))
+            .collect();
+        self.attach_workloads_with(&mut sim, attacker, client, &rack, &mut rng);
         sim
     }
 
@@ -720,6 +814,17 @@ impl Scenario {
         sim: &mut Simulation,
         attacker: NodeId,
         client: NodeId,
+        rng: &mut SimRng,
+    ) {
+        self.attach_workloads_with(sim, attacker, client, &[], rng);
+    }
+
+    fn attach_workloads_with(
+        &self,
+        sim: &mut Simulation,
+        attacker: NodeId,
+        client: NodeId,
+        rack: &[(NodeId, IpAddr, IpAddr)],
         rng: &mut SimRng,
     ) {
         let mut alloc = FlowIdAllocator::new();
@@ -819,6 +924,26 @@ impl Scenario {
                 });
             }
             sim.add_source(attacker, Box::new(ScriptedSource::new(arrivals)));
+        }
+        if let Some(rate) = self.rack_clients {
+            // Per-rack probe clients (multi-rack only): each rack's client
+            // targets its own rack's server, so the traffic stays mostly
+            // rack-local and every shard of a partitioned run has its own
+            // flow sources. Distinct RNG forks keep each rack's arrival
+            // process independent of rack count.
+            for (r, (host, src_ip, dst_ip)) in rack.iter().enumerate() {
+                let src = ClientWorkload::new(
+                    rate,
+                    *src_ip,
+                    *dst_ip,
+                    SimTime::ZERO,
+                    self.horizon,
+                    alloc.stream(),
+                    rng.fork(40 + r as u64),
+                )
+                .poisson();
+                sim.add_source(*host, Box::new(src));
+            }
         }
     }
 }

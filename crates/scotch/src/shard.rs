@@ -1,0 +1,888 @@
+//! Conservative sharded execution of a [`Simulation`].
+//!
+//! The topology is partitioned by region (rack) into per-shard *lanes* —
+//! each lane owns a slice of the device maps, its own timing-wheel event
+//! queue, and the workload sources whose hosts live there. Lanes advance in
+//! lockstep epochs whose length is bounded by the partition *lookahead*:
+//! the minimum over (a) the propagation delay of every link crossing the
+//! cut and (b) the control latency of every attached device. No event
+//! generated inside an epoch can be due at another shard before the epoch
+//! ends, so each lane runs its epoch with no locks and no peeking.
+//!
+//! ## Bit-determinism across shard counts
+//!
+//! The non-negotiable invariant: `(scenario, seed)` produces the identical
+//! canonical report for every shard count, including the sequential run.
+//! Three mechanisms carry it:
+//!
+//! 1. **Canonical inter-shard ordering.** Every cross-lane event (and every
+//!    control-plane event, even shard-local ones) is captured in an outbox
+//!    instead of being pushed directly. At each barrier the driver
+//!    concatenates all outboxes, stable-sorts on
+//!    `(deliver, gen, class, origin)` — a key that never mentions the shard
+//!    — and pushes entries into the destination queues in that order, so
+//!    the timing wheel's insertion-order tie-break is reproduced exactly.
+//! 2. **Per-origin chaos streams.** Probabilistic fault draws come from
+//!    per-origin RNG streams forked from one seed (see
+//!    [`Simulation::apply_fault_plan`]), so a node's draw sequence does not
+//!    depend on which shard it runs on.
+//! 3. **Centralized accounting.** Flow delivery, the latency histogram, and
+//!    the flow-creation order are global, order-sensitive state; lanes
+//!    defer them (delivery buffers, `(source, seq)` labels, the hub's
+//!    flowdb journal) and the driver replays them in global time order.
+//!
+//! Scenarios that cannot shard deterministically — no regions, random link
+//! loss (the topology clone would fork the loss RNG), or a fault-plan entry
+//! at t=0 racing the seed events — transparently fall back to the
+//! sequential run.
+
+use std::cmp::Ordering;
+use std::sync::Arc;
+
+use crate::report::Report;
+use crate::sim::{Event, FlowRecord, OutboxEntry, ShardCtx, Simulation};
+use scotch_controller::flowdb::FlowPath;
+use scotch_net::{FlowId, FlowKey, IpAddr, NodeId, NodeMap, Packet, Partition};
+use scotch_sim::fault::{FaultEvent, FaultKind};
+use scotch_sim::metrics::Histogram;
+use scotch_sim::trace::{TraceEvent, TraceRecorder};
+use scotch_sim::{FxHashMap, SimDuration, SimTime};
+
+impl Simulation {
+    /// Run until `until` on up to `shards` conservative shards, using up to
+    /// `threads` worker threads (`0` means one per shard), returning the
+    /// same canonical report as [`Simulation::run`] byte-for-byte.
+    ///
+    /// Falls back to the sequential run when the scenario cannot shard
+    /// (no regions, effective shard count 1, random link loss, or a
+    /// fault-plan entry at t=0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an inter-shard link's propagation is below
+    /// [`scotch_net::partition::MIN_LOOKAHEAD`] — a scenario construction
+    /// error (see [`Partition::validate_lookahead`]).
+    pub fn run_sharded(self, until: SimTime, shards: usize, threads: usize) -> Report {
+        run(self, until, shards, threads)
+    }
+}
+
+/// Delivery accounting accumulated by the driver per flow, joined onto the
+/// merged flow records at the end of the run.
+#[derive(Default)]
+struct DeliveryStub {
+    delivered: u32,
+    delivered_bytes: u64,
+    first: Option<SimTime>,
+    last: Option<SimTime>,
+    served_by: Option<FlowPath>,
+}
+
+/// The driver's own schedule of *central* events — scripted faults, plan
+/// injections, and their follow-ups. These mutate cross-lane state (the
+/// hub's controller app, device flags on owning lanes, broadcast fault
+/// windows), so the driver applies them at barriers instead of letting any
+/// single lane race ahead with them. Ties at one instant apply in insertion
+/// order, mirroring the sequential timing wheel.
+#[derive(Default)]
+struct Timeline {
+    entries: Vec<(SimTime, u64, Event)>,
+    next_seq: u64,
+}
+
+impl Timeline {
+    fn push(&mut self, at: SimTime, ev: Event) {
+        self.entries.push((at, self.next_seq, ev));
+        self.next_seq += 1;
+    }
+
+    fn peek(&self) -> Option<SimTime> {
+        self.entries.iter().map(|e| e.0).min()
+    }
+
+    /// Remove and return the lowest-seq entry due exactly at `t`.
+    fn pop_at(&mut self, t: SimTime) -> Option<Event> {
+        let mut best: Option<(usize, u64)> = None;
+        for (i, e) in self.entries.iter().enumerate() {
+            if e.0 == t && best.is_none_or(|(_, s)| e.1 < s) {
+                best = Some((i, e.1));
+            }
+        }
+        best.map(|(i, _)| self.entries.swap_remove(i).2)
+    }
+}
+
+struct Driver {
+    part: Arc<Partition>,
+    lookahead: SimDuration,
+    until: SimTime,
+    node_count: usize,
+    fault_plan: Vec<FaultEvent>,
+    timeline: Timeline,
+    /// Authoritative host → address map for misroute checks.
+    host_ip: NodeMap<IpAddr>,
+    /// Global end-to-end latency histogram (f64 sums are order-sensitive,
+    /// so deliveries feed it in global time order).
+    latency: Histogram,
+    tracked: FxHashMap<FlowId, Vec<(SimTime, SimDuration)>>,
+    misrouted: u64,
+    ledger: FxHashMap<FlowId, DeliveryStub>,
+    /// Chronological flowdb state per key, drained from the hub lane's
+    /// journal — replays `served_by` resolution without a live flowdb.
+    journal: FxHashMap<FlowKey, Vec<(SimTime, Option<FlowPath>)>>,
+    overlay_version: u64,
+    /// No lane has any event earlier than this; flushed outbox entries are
+    /// asserted against it (a violation means the lookahead bound was
+    /// unsound).
+    watermark: SimTime,
+    /// Central events applied (they count toward `events_processed` exactly
+    /// like their sequential pops).
+    centrals: u64,
+}
+
+impl Driver {
+    /// The barrier: exchange everything, then either apply due central
+    /// events (and re-barrier) or name the next epoch bound. `None` ends
+    /// the run.
+    fn barrier(&mut self, lanes: &mut [Simulation]) -> Option<SimTime> {
+        loop {
+            self.flush_outboxes(lanes);
+            self.drain_journal(lanes);
+            self.apply_deliveries(lanes);
+            self.refresh_overlay(lanes);
+
+            let lane_min = lanes.iter().filter_map(|l| l.events.peek_time()).min();
+            let central = self.timeline.peek();
+            let t = match (lane_min, central) {
+                (None, None) => return None,
+                (Some(a), None) => a,
+                (None, Some(b)) => b,
+                (Some(a), Some(b)) => a.min(b),
+            };
+            if t > self.until {
+                return None;
+            }
+            if central == Some(t) && lane_min.is_none_or(|lm| t <= lm) {
+                // Central events due now and no lane event earlier: apply
+                // them all (insertion order), then re-barrier — they may
+                // have scheduled more work or emitted control traffic.
+                self.watermark = t;
+                while let Some(ev) = self.timeline.pop_at(t) {
+                    self.apply_central(lanes, t, ev);
+                    self.centrals += 1;
+                }
+                continue;
+            }
+            let lm = lane_min.expect("epoch start requires a lane event");
+            let mut end = lm + self.lookahead;
+            if let Some(c) = central {
+                end = end.min(c);
+            }
+            end = end.min(self.until + SimDuration::from_nanos(1));
+            self.watermark = end;
+            return Some(end);
+        }
+    }
+
+    /// Concatenate all lanes' outboxes, order canonically, and push into
+    /// the destination queues. The sort key omits the shard, and a stable
+    /// sort preserves each origin's generation order, so the resulting
+    /// insertion order is identical for every shard count.
+    fn flush_outboxes(&mut self, lanes: &mut [Simulation]) {
+        let mut entries: Vec<OutboxEntry> = Vec::new();
+        for lane in lanes.iter_mut() {
+            let ctx = lane.shard.as_mut().expect("lane has shard ctx");
+            entries.append(&mut ctx.outbox);
+        }
+        entries.sort_by(|a, b| {
+            (a.deliver, a.gen, a.class, a.origin).cmp(&(b.deliver, b.gen, b.class, b.origin))
+        });
+        for e in entries {
+            debug_assert!(
+                e.deliver >= self.watermark,
+                "outbox entry due {:?} before watermark {:?}: lookahead unsound",
+                e.deliver,
+                self.watermark
+            );
+            let dest = match &e.ev {
+                Event::Arrive { node, .. } => self.part.shard_of(*node),
+                // All control traffic terminates at the hub's controller.
+                Event::CtrlFromSwitch { .. } => 0,
+                Event::CtrlToSwitch { to, .. } => self.part.shard_of(*to),
+                _ => unreachable!("only packet/control events cross shards"),
+            } as usize;
+            lanes[dest].events.push(e.deliver, e.ev);
+        }
+    }
+
+    fn drain_journal(&mut self, lanes: &mut [Simulation]) {
+        let journal = lanes[0]
+            .app
+            .flow_journal
+            .as_mut()
+            .expect("hub lane journals flowdb mutations");
+        for (t, key, path) in journal.drain(..) {
+            self.journal.entry(key).or_default().push((t, path));
+        }
+    }
+
+    /// Apply all lanes' deferred host deliveries in global time order
+    /// against the single accounting state. Within one barrier all
+    /// deliveries fall inside the same epoch window, so sorting the batch
+    /// by time yields the global order across barriers too.
+    fn apply_deliveries(&mut self, lanes: &mut [Simulation]) {
+        let mut batch: Vec<(SimTime, NodeId, Packet)> = Vec::new();
+        for lane in lanes.iter_mut() {
+            let ctx = lane.shard.as_mut().expect("lane has shard ctx");
+            batch.append(&mut ctx.deliveries);
+        }
+        batch.sort_by_key(|d| d.0);
+        for (now, host, packet) in batch {
+            self.apply_delivery(now, host, packet);
+        }
+    }
+
+    /// Mirror of the sequential `Simulation::deliver` accounting.
+    fn apply_delivery(&mut self, now: SimTime, host: NodeId, packet: Packet) {
+        if self.host_ip.get(host) != Some(&packet.key.dst) {
+            self.misrouted += 1;
+            return;
+        }
+        let stub = self.ledger.entry(packet.flow_id).or_default();
+        stub.delivered += 1;
+        stub.delivered_bytes += packet.size as u64;
+        if stub.first.is_none() {
+            stub.first = Some(now);
+            stub.served_by = resolve_path(&self.journal, &packet.key, now);
+        }
+        stub.last = Some(now);
+        if !packet.is_attack {
+            self.latency
+                .record(now.duration_since(packet.born_at).as_nanos() as f64);
+        }
+        if !self.tracked.is_empty() {
+            if let Some(ts) = self.tracked.get_mut(&packet.flow_id) {
+                ts.push((now, now.duration_since(packet.born_at)));
+            }
+        }
+    }
+
+    /// Re-clone the hub's overlay onto the other lanes when it changed.
+    /// Overlay mutations happen at the hub's controller; their effects
+    /// cannot reach a remote device in under one lookahead, so refreshing
+    /// replicas at the next barrier is exact.
+    fn refresh_overlay(&mut self, lanes: &mut [Simulation]) {
+        let v = lanes[0].app.overlay.version;
+        if v != self.overlay_version {
+            self.overlay_version = v;
+            let (hub, rest) = lanes.split_first_mut().expect("at least one lane");
+            for lane in rest {
+                lane.app.overlay = hub.app.overlay.clone();
+            }
+        }
+    }
+
+    /// Apply one central event. Mirrors the matching `process_event` arms,
+    /// split across lanes: device flags mutate on the owning lane,
+    /// controller/trace/counter state on the hub, topology link state and
+    /// fault windows on every lane (broadcast replicas).
+    fn apply_central(&mut self, lanes: &mut [Simulation], now: SimTime, ev: Event) {
+        match ev {
+            Event::FailVSwitch { node } => {
+                let lane = &mut lanes[self.part.shard_of(node) as usize];
+                if let Some(vs) = lane.vswitches.get_mut(node) {
+                    vs.failed = true;
+                }
+            }
+            Event::JoinVSwitch { .. } => {
+                // Pure controller-side work: the hub processes it verbatim
+                // (its commands leave through the hub's outbox).
+                lanes[0].process_event(now, ev);
+            }
+            Event::RecoverVSwitch { node } => {
+                let lane = &mut lanes[self.part.shard_of(node) as usize];
+                if let Some(vs) = lane.vswitches.get_mut(node) {
+                    vs.failed = false;
+                }
+                lanes[0].app.recover_vswitch(now, node);
+                if lanes[0].chaos_seed.is_some() {
+                    lanes[0].app.trace.record(
+                        now,
+                        TraceEvent::FaultCleared {
+                            kind: 0,
+                            target: node.0,
+                        },
+                    );
+                }
+            }
+            Event::InjectFault { idx } => self.inject_fault(lanes, now, idx),
+            Event::SetLinkUp {
+                link,
+                up,
+                kind,
+                finale,
+            } => {
+                for lane in lanes.iter_mut() {
+                    lane.topo.set_link_up(link, up);
+                }
+                if finale {
+                    lanes[0].app.trace.record(
+                        now,
+                        TraceEvent::FaultCleared {
+                            kind: u32::from(kind),
+                            target: link.0,
+                        },
+                    );
+                }
+            }
+            Event::ClearLinkDegrade { link } => {
+                for lane in lanes.iter_mut() {
+                    lane.topo.set_link_extra_delay(link, SimDuration::ZERO);
+                }
+                lanes[0].app.trace.record(
+                    now,
+                    TraceEvent::FaultCleared {
+                        kind: 3,
+                        target: link.0,
+                    },
+                );
+            }
+            Event::ClearOfaSlowdown { node } => {
+                let lane = self.part.shard_of(node) as usize;
+                lanes[lane].set_ofa_slowdown(node, 1.0);
+                lanes[0].app.trace.record(
+                    now,
+                    TraceEvent::FaultCleared {
+                        kind: 7,
+                        target: node.0,
+                    },
+                );
+            }
+            Event::ClearControllerStall => {
+                if now >= lanes[0].chaos.stall_until {
+                    lanes[0].app.trace.record(
+                        now,
+                        TraceEvent::FaultCleared {
+                            kind: 8,
+                            target: u32::MAX,
+                        },
+                    );
+                }
+            }
+            _ => unreachable!("not a central event"),
+        }
+    }
+
+    /// Sharded mirror of the sequential `on_inject_fault`.
+    fn inject_fault(&mut self, lanes: &mut [Simulation], now: SimTime, idx: u32) {
+        let kind = self.fault_plan[idx as usize].kind;
+        let kind_idx = kind.index();
+        let trace_injected = |lanes: &mut [Simulation], target: u32| {
+            lanes[0].chaos.injected[kind_idx] += 1;
+            lanes[0].app.trace.record(
+                now,
+                TraceEvent::FaultInjected {
+                    kind: kind_idx as u32,
+                    target,
+                },
+            );
+        };
+        match kind {
+            FaultKind::VSwitchCrash {
+                target,
+                restart_after,
+            } => {
+                let candidates: Vec<NodeId> = lanes[0]
+                    .app
+                    .overlay
+                    .live_mesh()
+                    .into_iter()
+                    .filter(|&n| {
+                        lanes[self.part.shard_of(n) as usize]
+                            .vswitches
+                            .get(n)
+                            .map(|v| !v.failed)
+                            .unwrap_or(false)
+                    })
+                    .collect();
+                if candidates.is_empty() {
+                    lanes[0].chaos.skipped += 1;
+                    return;
+                }
+                let node = candidates[target as usize % candidates.len()];
+                let lane = &mut lanes[self.part.shard_of(node) as usize];
+                if let Some(vs) = lane.vswitches.get_mut(node) {
+                    vs.failed = true;
+                }
+                trace_injected(lanes, node.0);
+                if let Some(delay) = restart_after {
+                    self.timeline
+                        .push(now + delay, Event::RecoverVSwitch { node });
+                }
+            }
+            FaultKind::LinkDown { target, duration } => {
+                let n = lanes[0].topo.link_count();
+                if n == 0 {
+                    lanes[0].chaos.skipped += 1;
+                    return;
+                }
+                let link = scotch_net::LinkId(target % n as u32);
+                for lane in lanes.iter_mut() {
+                    lane.topo.set_link_up(link, false);
+                }
+                trace_injected(lanes, link.0);
+                self.timeline.push(
+                    now + duration,
+                    Event::SetLinkUp {
+                        link,
+                        up: true,
+                        kind: kind_idx as u8,
+                        finale: true,
+                    },
+                );
+            }
+            FaultKind::LinkFlap {
+                target,
+                cycles,
+                period,
+            } => {
+                let n = lanes[0].topo.link_count();
+                if n == 0 || cycles == 0 {
+                    lanes[0].chaos.skipped += 1;
+                    return;
+                }
+                let link = scotch_net::LinkId(target % n as u32);
+                for lane in lanes.iter_mut() {
+                    lane.topo.set_link_up(link, false);
+                }
+                trace_injected(lanes, link.0);
+                for k in 0..cycles {
+                    let last = k + 1 == cycles;
+                    self.timeline.push(
+                        now + period.mul(u64::from(2 * k + 1)),
+                        Event::SetLinkUp {
+                            link,
+                            up: true,
+                            kind: kind_idx as u8,
+                            finale: last,
+                        },
+                    );
+                    if !last {
+                        self.timeline.push(
+                            now + period.mul(u64::from(2 * k + 2)),
+                            Event::SetLinkUp {
+                                link,
+                                up: false,
+                                kind: kind_idx as u8,
+                                finale: false,
+                            },
+                        );
+                    }
+                }
+            }
+            FaultKind::LinkDegrade {
+                target,
+                extra_latency,
+                duration,
+            } => {
+                let n = lanes[0].topo.link_count();
+                if n == 0 {
+                    lanes[0].chaos.skipped += 1;
+                    return;
+                }
+                let link = scotch_net::LinkId(target % n as u32);
+                for lane in lanes.iter_mut() {
+                    lane.topo.set_link_extra_delay(link, extra_latency);
+                }
+                trace_injected(lanes, link.0);
+                self.timeline
+                    .push(now + duration, Event::ClearLinkDegrade { link });
+            }
+            FaultKind::CtrlLoss { p, duration } => {
+                for lane in lanes.iter_mut() {
+                    lane.chaos.loss_p = p;
+                    lane.chaos.loss_until = now + duration;
+                }
+                trace_injected(lanes, u32::MAX);
+            }
+            FaultKind::CtrlDup { p, duration } => {
+                for lane in lanes.iter_mut() {
+                    lane.chaos.dup_p = p;
+                    lane.chaos.dup_until = now + duration;
+                }
+                trace_injected(lanes, u32::MAX);
+            }
+            FaultKind::CtrlReorder {
+                p,
+                jitter,
+                duration,
+            } => {
+                for lane in lanes.iter_mut() {
+                    lane.chaos.reorder_p = p;
+                    lane.chaos.reorder_jitter = jitter;
+                    lane.chaos.reorder_until = now + duration;
+                }
+                trace_injected(lanes, u32::MAX);
+            }
+            FaultKind::OfaSlowdown {
+                target,
+                factor,
+                duration,
+            } => {
+                // Global candidate order: physical switches then vSwitches,
+                // ascending node id — identical to the sequential scan over
+                // the unpartitioned device maps.
+                let mut candidates: Vec<NodeId> = Vec::new();
+                for i in 0..self.node_count as u32 {
+                    let n = NodeId(i);
+                    if lanes[self.part.shard_of(n) as usize]
+                        .physical
+                        .get(n)
+                        .is_some()
+                    {
+                        candidates.push(n);
+                    }
+                }
+                for i in 0..self.node_count as u32 {
+                    let n = NodeId(i);
+                    if lanes[self.part.shard_of(n) as usize]
+                        .vswitches
+                        .get(n)
+                        .is_some()
+                    {
+                        candidates.push(n);
+                    }
+                }
+                if candidates.is_empty() {
+                    lanes[0].chaos.skipped += 1;
+                    return;
+                }
+                let node = candidates[target as usize % candidates.len()];
+                let factor = if factor.is_finite() {
+                    factor.max(1e-3)
+                } else {
+                    1.0
+                };
+                lanes[self.part.shard_of(node) as usize].set_ofa_slowdown(node, factor);
+                trace_injected(lanes, node.0);
+                self.timeline
+                    .push(now + duration, Event::ClearOfaSlowdown { node });
+            }
+            FaultKind::ControllerStall { duration } => {
+                let stall_until = lanes[0].chaos.stall_until.max(now + duration);
+                for lane in lanes.iter_mut() {
+                    lane.chaos.stall_until = stall_until;
+                }
+                trace_injected(lanes, u32::MAX);
+                self.timeline.push(stall_until, Event::ClearControllerStall);
+            }
+        }
+    }
+}
+
+/// Last journaled flowdb state for `key` at or before `now`.
+fn resolve_path(
+    journal: &FxHashMap<FlowKey, Vec<(SimTime, Option<FlowPath>)>>,
+    key: &FlowKey,
+    now: SimTime,
+) -> Option<FlowPath> {
+    let entries = journal.get(key)?;
+    entries
+        .iter()
+        .rev()
+        .find(|(t, _)| *t <= now)
+        .and_then(|(_, p)| *p)
+}
+
+/// Sharded run entry point (see [`Simulation::run_sharded`]).
+fn run(mut sim: Simulation, until: SimTime, shards: usize, threads: usize) -> Report {
+    // Clamps: scenarios that cannot shard deterministically run sequentially.
+    if shards <= 1
+        || sim.regions.is_empty()
+        || sim.topo.has_fault_injection()
+        || sim.fault_plan.iter().any(|e| e.at == SimTime::ZERO)
+    {
+        return sim.run(until);
+    }
+    let part = Partition::by_regions(sim.topo.node_count(), &sim.regions, shards);
+    if part.is_trivial() {
+        return sim.run(until);
+    }
+    let cut = part
+        .validate_lookahead(&sim.topo)
+        .unwrap_or_else(|e| panic!("sharded run rejected: {e}"));
+    let mut lookahead = cut;
+    for (_, s) in sim.physical.iter() {
+        let l = s.control_latency();
+        lookahead = Some(lookahead.map_or(l, |m| m.min(l)));
+    }
+    for (_, v) in sim.vswitches.iter() {
+        let l = v.control_latency();
+        lookahead = Some(lookahead.map_or(l, |m| m.min(l)));
+    }
+    let Some(lookahead) = lookahead else {
+        return sim.run(until);
+    };
+    if lookahead == SimDuration::ZERO {
+        return sim.run(until);
+    }
+
+    // Snapshot every node's control-channel latency while the full device
+    // set is still in one place: after partitioning, the controller lane
+    // must schedule command deliveries to switches it does not own.
+    let ctrl_latency: Arc<Vec<SimDuration>> = Arc::new(
+        (0..sim.topo.node_count() as u32)
+            .map(|i| sim.control_latency(NodeId(i)))
+            .collect(),
+    );
+
+    // Drain the pre-run queue: bootstrap control deliveries go straight to
+    // their destination lanes (before `start()`, preserving the t=0 tie
+    // order); scripted faults become the driver's central timeline.
+    let mut timeline = Timeline::default();
+    let mut bootstraps: Vec<(SimTime, NodeId, Event)> = Vec::new();
+    while let Some((at, ev)) = sim.events.pop() {
+        match ev {
+            Event::CtrlToSwitch { to, msg } => {
+                bootstraps.push((at, to, Event::CtrlToSwitch { to, msg }));
+            }
+            Event::FailVSwitch { .. }
+            | Event::JoinVSwitch { .. }
+            | Event::RecoverVSwitch { .. }
+            | Event::InjectFault { .. } => timeline.push(at, ev),
+            _ => unreachable!("unexpected pre-run event kind"),
+        }
+    }
+
+    // Dismantle the simulation into per-shard lanes.
+    let m = part.shards() as usize;
+    let part = Arc::new(part);
+    let node_count = sim.topo.node_count();
+    let topo = sim.topo;
+    let mut app = sim.app;
+    let host_ip = sim.host_ip;
+    let ip_host = sim.ip_host;
+    let physical = sim.physical;
+    let vswitches = sim.vswitches;
+    let middleboxes = sim.middleboxes;
+    let sources = sim.sources;
+    let tracked = sim.tracked;
+    let captures = sim.captures;
+    let chaos = sim.chaos;
+    let chaos_seed = sim.chaos_seed;
+    let fault_plan = sim.fault_plan;
+    let sweep_interval = sim.sweep_interval;
+    let registry = sim.registry;
+    let profiler = sim.profiler;
+    let latency = sim.latency;
+
+    let mut clones = Vec::with_capacity(m - 1);
+    for _ in 1..m {
+        let mut a = app.clone();
+        // Trace and flow journal are hub-only: the trace recorder is not
+        // canonical output and device-side records from remote lanes are
+        // deliberately dropped; the journal exists to feed the driver.
+        a.trace = TraceRecorder::disabled();
+        a.flow_journal = None;
+        clones.push(a);
+    }
+    app.flow_journal = Some(Vec::new());
+
+    let mut lanes: Vec<Simulation> = Vec::with_capacity(m);
+    for (s, a) in std::iter::once(app).chain(clones).enumerate() {
+        let mut lane = Simulation::new(topo.clone(), a);
+        lane.host_ip = host_ip.clone();
+        lane.ip_host = ip_host.clone();
+        lane.sweep_interval = sweep_interval;
+        lane.chaos_seed = chaos_seed;
+        lane.shard = Some(ShardCtx {
+            shard: s as u32,
+            part: part.clone(),
+            outbox: Vec::new(),
+            deliveries: Vec::new(),
+            sweep_pops: 0,
+            pops: 0,
+            ctrl_latency: ctrl_latency.clone(),
+        });
+        lanes.push(lane);
+    }
+    lanes[0].chaos = chaos;
+    lanes[0].fault_plan = fault_plan.clone();
+    lanes[0].registry = registry;
+    lanes[0].profiler = profiler;
+
+    for (n, d) in physical.into_iter() {
+        lanes[part.shard_of(n) as usize].physical.insert(n, d);
+    }
+    for (n, d) in vswitches.into_iter() {
+        lanes[part.shard_of(n) as usize].vswitches.insert(n, d);
+    }
+    for (n, d) in middleboxes.into_iter() {
+        lanes[part.shard_of(n) as usize].middleboxes.insert(n, d);
+    }
+    for (n, c) in captures.into_iter() {
+        lanes[part.shard_of(n) as usize].captures.insert(n, c);
+    }
+    for (gid, (host, src)) in sources.into_iter().enumerate() {
+        let lane = &mut lanes[part.shard_of(host) as usize];
+        lane.source_ids.push(gid as u32);
+        lane.source_seq.push(0);
+        lane.sources.push((host, src));
+    }
+    for (at, to, ev) in bootstraps {
+        lanes[part.shard_of(to) as usize].events.push(at, ev);
+    }
+    for lane in &mut lanes {
+        lane.start();
+    }
+
+    let mut driver = Driver {
+        part: part.clone(),
+        lookahead,
+        until,
+        node_count,
+        fault_plan,
+        timeline,
+        host_ip,
+        latency,
+        tracked,
+        misrouted: 0,
+        ledger: FxHashMap::default(),
+        journal: FxHashMap::default(),
+        overlay_version: lanes[0].app.overlay.version,
+        watermark: SimTime::ZERO,
+        centrals: 0,
+    };
+
+    let threads = if threads == 0 { m } else { threads.min(m) };
+    let mut lanes = scotch_runner::lockstep(
+        lanes,
+        threads,
+        |lanes| driver.barrier(lanes),
+        |_, lane, bound| {
+            let n = lane.run_epoch(bound);
+            if let Some(ctx) = lane.shard.as_mut() {
+                ctx.pops += n;
+            }
+        },
+    );
+
+    // End of run: reconcile chaos in-flight tallies, then fold every lane
+    // back into the hub and emit the canonical report from there.
+    if !driver.fault_plan.is_empty() {
+        for lane in lanes.iter_mut() {
+            lane.tally_remaining();
+        }
+    }
+    let mut lane_pops = 0u64;
+    let mut dup_sweeps = 0u64;
+    for (s, lane) in lanes.iter().enumerate() {
+        let ctx = lane.shard.as_ref().expect("lane has shard ctx");
+        lane_pops += ctx.pops;
+        if s > 0 {
+            dup_sweeps += ctx.sweep_pops;
+        }
+    }
+    let events_processed = lane_pops - dup_sweeps + driver.centrals;
+
+    let rest = lanes.split_off(1);
+    let mut hub = lanes.pop().expect("hub lane");
+    let mut all_flows: Vec<FlowRecord> = std::mem::take(&mut hub.flows);
+    for (i, mut lane) in rest.into_iter().enumerate() {
+        let s = (i + 1) as u32;
+        hub.chaos.absorb_counters(&lane.chaos);
+        hub.topo
+            .adopt_link_states(&lane.topo, |n| driver.part.shard_of(n) == s);
+        hub.drops.ofa_overload += lane.drops.ofa_overload;
+        hub.drops.dataplane += lane.drops.dataplane;
+        hub.drops.policy += lane.drops.policy;
+        hub.drops.no_route += lane.drops.no_route;
+        hub.drops.link_queue += lane.drops.link_queue;
+        hub.drops.link_faults += lane.drops.link_faults;
+        hub.controller_dropped += lane.controller_dropped;
+        for k in 0..6 {
+            hub.ctrl_tx[k] += lane.ctrl_tx[k];
+            hub.ctrl_rx[k] += lane.ctrl_rx[k];
+        }
+        all_flows.append(&mut lane.flows);
+        for (n, d) in lane.physical.into_iter() {
+            hub.physical.insert(n, d);
+        }
+        for (n, d) in lane.vswitches.into_iter() {
+            hub.vswitches.insert(n, d);
+        }
+        for (n, d) in lane.middleboxes.into_iter() {
+            hub.middleboxes.insert(n, d);
+        }
+        for (n, c) in lane.captures.into_iter() {
+            hub.captures.insert(n, c);
+        }
+    }
+
+    sort_flows_into_creation_order(&mut all_flows);
+    for r in &mut all_flows {
+        if let Some(stub) = driver.ledger.remove(&r.spec.id) {
+            r.delivered = stub.delivered;
+            r.delivered_bytes = stub.delivered_bytes;
+            r.first_delivered = stub.first;
+            r.last_delivered = stub.last;
+            r.served_by = stub.served_by;
+        }
+    }
+    hub.flows = all_flows;
+    hub.latency = driver.latency;
+    hub.tracked = driver.tracked;
+    hub.misrouted += driver.misrouted;
+    hub.shard = None;
+    hub.into_report(until, events_processed)
+}
+
+/// Reorder per-lane flow lists into the sequential creation order.
+///
+/// A flow `(source s, ordinal j)` is created when the `SourceNext` event
+/// scheduled at `fire(s, j)` pops, where `fire(s, j)` is the previous
+/// flow's `started_at` (`t=0` for `j = 0`: the seeds planted by `start()`).
+/// Two flows order by those pop times; a tie recurses into the *parents'*
+/// creation order (the timing wheel breaks ties by insertion order, and the
+/// tied `SourceNext` events were inserted while their parent flows were
+/// being created). At the ground, seeds were inserted in global source
+/// order, before any mid-run insertion.
+fn sort_flows_into_creation_order(flows: &mut [FlowRecord]) {
+    let mut history: FxHashMap<u32, Vec<SimTime>> = FxHashMap::default();
+    for r in flows.iter() {
+        let h = history.entry(r.source).or_default();
+        let idx = r.seq as usize;
+        if h.len() <= idx {
+            h.resize(idx + 1, SimTime::ZERO);
+        }
+        h[idx] = r.started_at;
+    }
+    let fire = |source: u32, seq: u32| -> SimTime {
+        if seq == 0 {
+            SimTime::ZERO
+        } else {
+            history[&source][(seq - 1) as usize]
+        }
+    };
+    flows.sort_by(|a, b| {
+        if a.source == b.source {
+            return a.seq.cmp(&b.seq);
+        }
+        let (mut ja, mut jb) = (a.seq, b.seq);
+        loop {
+            match fire(a.source, ja).cmp(&fire(b.source, jb)) {
+                Ordering::Equal => {}
+                o => return o,
+            }
+            match (ja, jb) {
+                (0, 0) => return a.source.cmp(&b.source),
+                (0, _) => return Ordering::Less,
+                (_, 0) => return Ordering::Greater,
+                _ => {
+                    ja -= 1;
+                    jb -= 1;
+                }
+            }
+        }
+    });
+}

@@ -22,8 +22,9 @@ use scotch_switch::middlebox::{MbVerdict, Middlebox};
 use scotch_switch::{DropReason, Output, PhysicalSwitch, VSwitch};
 use scotch_workload::{FlowArrival, FlowSource, FlowSpec};
 
-/// Discrete events.
-enum Event {
+/// Discrete events. Crate-visible so the shard driver (`crate::shard`) can
+/// route them between per-shard event queues.
+pub(crate) enum Event {
     /// A packet lands on `(node, port)` after link transit.
     Arrive {
         node: NodeId,
@@ -113,7 +114,7 @@ const EVENT_KIND_NAMES: [&str; 18] = [
 
 impl Event {
     /// Dense variant index (matches [`EVENT_KIND_NAMES`]).
-    fn kind(&self) -> usize {
+    pub(crate) fn kind(&self) -> usize {
         match self {
             Event::Arrive { .. } => 0,
             Event::EmitPacket { .. } => 1,
@@ -151,51 +152,75 @@ const PERTURB_DELAY: u32 = 3;
 /// Everything here is exported under `chaos.*` in the metrics snapshot
 /// (never in the canonical report), and only when a fault plan is attached.
 #[derive(Default)]
-struct ChaosState {
+pub(crate) struct ChaosState {
     /// Faults injected, by [`FaultKind::index`].
-    injected: [u64; FAULT_KIND_COUNT],
+    pub(crate) injected: [u64; FAULT_KIND_COUNT],
     /// Plan entries skipped because no candidate target existed.
-    skipped: u64,
+    pub(crate) skipped: u64,
     /// Control-channel loss window (drop probability, end of window).
-    loss_p: f64,
-    loss_until: SimTime,
+    pub(crate) loss_p: f64,
+    pub(crate) loss_until: SimTime,
     /// Switch→controller duplication window.
-    dup_p: f64,
-    dup_until: SimTime,
+    pub(crate) dup_p: f64,
+    pub(crate) dup_until: SimTime,
     /// Reordering window (extra uniform delay in `[0, jitter]`).
-    reorder_p: f64,
-    reorder_jitter: SimDuration,
-    reorder_until: SimTime,
+    pub(crate) reorder_p: f64,
+    pub(crate) reorder_jitter: SimDuration,
+    pub(crate) reorder_until: SimTime,
     /// Controller outage: inbound messages and periodic work defer until
     /// this instant.
-    stall_until: SimTime,
+    pub(crate) stall_until: SimTime,
     /// Switch→controller messages dropped by loss, by rx message kind.
-    rx_dropped: [u64; 6],
+    pub(crate) rx_dropped: [u64; 6],
     /// Controller→switch messages dropped by loss, by tx message kind.
-    tx_dropped: [u64; 6],
+    pub(crate) tx_dropped: [u64; 6],
     /// Switch→controller messages duplicated, by rx message kind.
-    duplicated: [u64; 6],
+    pub(crate) duplicated: [u64; 6],
     /// Messages given extra reorder delay (both directions).
-    delayed: u64,
+    pub(crate) delayed: u64,
     /// Messages deferred past a controller stall window.
-    deferred: u64,
+    pub(crate) deferred: u64,
     /// Controller→switch messages absorbed by a failed vSwitch, by kind.
-    absorbed: [u64; 6],
+    pub(crate) absorbed: [u64; 6],
     /// FlowMod-Add commands sent / lost in transit / absorbed while the
     /// target vSwitch was failed (the FlowMod conservation ledger).
-    flowmod_add_sent: u64,
-    flowmod_add_dropped: u64,
-    flowmod_add_absorbed: u64,
+    pub(crate) flowmod_add_sent: u64,
+    pub(crate) flowmod_add_dropped: u64,
+    pub(crate) flowmod_add_absorbed: u64,
     /// Events still queued when the horizon hit, tallied so conservation
     /// checks are exact rather than tolerance-based.
-    in_flight_rx: [u64; 6],
-    in_flight_tx: [u64; 6],
-    in_flight_flowmod_add: u64,
-    in_flight_packets: u64,
+    pub(crate) in_flight_rx: [u64; 6],
+    pub(crate) in_flight_tx: [u64; 6],
+    pub(crate) in_flight_flowmod_add: u64,
+    pub(crate) in_flight_packets: u64,
 }
 
 impl ChaosState {
-    fn tally_in_flight(&mut self, ev: &Event) {
+    /// Fold another shard's counters into this one (windows are not
+    /// merged: they are broadcast state, identical on every shard).
+    pub(crate) fn absorb_counters(&mut self, o: &ChaosState) {
+        for i in 0..FAULT_KIND_COUNT {
+            self.injected[i] += o.injected[i];
+        }
+        self.skipped += o.skipped;
+        for i in 0..6 {
+            self.rx_dropped[i] += o.rx_dropped[i];
+            self.tx_dropped[i] += o.tx_dropped[i];
+            self.duplicated[i] += o.duplicated[i];
+            self.absorbed[i] += o.absorbed[i];
+            self.in_flight_rx[i] += o.in_flight_rx[i];
+            self.in_flight_tx[i] += o.in_flight_tx[i];
+        }
+        self.delayed += o.delayed;
+        self.deferred += o.deferred;
+        self.flowmod_add_sent += o.flowmod_add_sent;
+        self.flowmod_add_dropped += o.flowmod_add_dropped;
+        self.flowmod_add_absorbed += o.flowmod_add_absorbed;
+        self.in_flight_flowmod_add += o.in_flight_flowmod_add;
+        self.in_flight_packets += o.in_flight_packets;
+    }
+
+    pub(crate) fn tally_in_flight(&mut self, ev: &Event) {
         match ev {
             Event::Arrive { .. } | Event::EmitPacket { .. } => self.in_flight_packets += 1,
             Event::CtrlFromSwitch { msg, .. } | Event::CtrlProcessed { msg, .. } => {
@@ -269,7 +294,7 @@ const CTRL_RX_KIND_NAMES: [&str; 6] = [
 /// rehash churn of growing a map by hundreds of thousands of flows).
 /// Stored values are `index + 1`; 0 marks an empty slot.
 #[derive(Default)]
-struct FlowIndex {
+pub(crate) struct FlowIndex {
     streams: Vec<Vec<u32>>,
 }
 
@@ -300,16 +325,98 @@ impl FlowIndex {
     }
 }
 
-struct FlowRecord {
-    spec: FlowSpec,
-    src_host: NodeId,
-    started_at: SimTime,
-    emitted: u32,
-    delivered: u32,
-    delivered_bytes: u64,
-    first_delivered: Option<SimTime>,
-    last_delivered: Option<SimTime>,
-    served_by: Option<scotch_controller::flowdb::FlowPath>,
+pub(crate) struct FlowRecord {
+    pub(crate) spec: FlowSpec,
+    pub(crate) src_host: NodeId,
+    pub(crate) started_at: SimTime,
+    pub(crate) emitted: u32,
+    pub(crate) delivered: u32,
+    pub(crate) delivered_bytes: u64,
+    pub(crate) first_delivered: Option<SimTime>,
+    pub(crate) last_delivered: Option<SimTime>,
+    pub(crate) served_by: Option<scotch_controller::flowdb::FlowPath>,
+    /// Global index of the creating workload source and the flow's ordinal
+    /// within that source. Unused sequentially; the shard driver merges
+    /// per-shard flow lists back into the sequential creation order from
+    /// `(source, seq)` plus the per-source `started_at` history.
+    pub(crate) source: u32,
+    pub(crate) seq: u32,
+}
+
+/// One event bound for another shard (or for the canonical inter-shard
+/// ordering pass), captured at its generation site instead of being pushed
+/// into the local queue.
+///
+/// At each epoch barrier the driver concatenates all shards' outboxes,
+/// stably sorts on `(deliver, gen, class, origin)`, and pushes the entries
+/// into the destination queues in that order. The key never mentions the
+/// shard, and entries from one origin are generated on one shard in a
+/// deterministic order the stable sort preserves — so the insertion order
+/// (the timing wheel's tie-breaker) is identical for every shard count.
+pub(crate) struct OutboxEntry {
+    /// When the event is due at its destination.
+    pub(crate) deliver: SimTime,
+    /// When the emitting site generated it (`now` at the push site).
+    pub(crate) gen: SimTime,
+    /// Origin class rank: physical switch 0, vSwitch 1, controller 2,
+    /// host 3, middlebox 4.
+    pub(crate) class: u8,
+    /// Emitting node id (`u32::MAX` for the controller).
+    pub(crate) origin: u32,
+    pub(crate) ev: Event,
+}
+
+/// Per-shard execution context. `None` on a sequential simulation; set by
+/// the shard driver on every lane of a sharded run.
+pub(crate) struct ShardCtx {
+    /// This lane's shard id.
+    pub(crate) shard: u32,
+    /// The global node → shard map.
+    pub(crate) part: std::sync::Arc<scotch_net::Partition>,
+    /// Events generated here but ordered/routed at the next barrier.
+    pub(crate) outbox: Vec<OutboxEntry>,
+    /// Host deliveries `(time, host, packet)` deferred to the driver.
+    /// Delivery has no causal consequences inside the event loop (it only
+    /// updates flow/latency accounting), so the driver applies these at
+    /// barriers in global time order instead of each lane racing to its
+    /// own copy of the accounting state.
+    pub(crate) deliveries: Vec<(SimTime, NodeId, Packet)>,
+    /// `ExpirySweep` pops on this lane. Every lane runs its own sweep
+    /// schedule; the canonical `events_processed` counts the sweep ticks
+    /// once, so the driver subtracts non-zero-shard sweep pops.
+    pub(crate) sweep_pops: u64,
+    /// Total events popped by this lane across all epochs; the driver sums
+    /// these (minus duplicate sweeps, plus centrally applied events) into
+    /// the canonical `events_processed`.
+    pub(crate) pops: u64,
+    /// Global per-node control-channel latency, snapshotted from the full
+    /// device set before partitioning. The controller lane dispatches
+    /// commands to switches owned by other shards, whose profiles are not
+    /// in its local device maps.
+    pub(crate) ctrl_latency: std::sync::Arc<Vec<SimDuration>>,
+}
+
+fn origin_class(kind: NodeKind) -> u8 {
+    match kind {
+        NodeKind::PhysicalSwitch => 0,
+        NodeKind::VSwitch => 1,
+        NodeKind::Host => 3,
+        NodeKind::Middlebox => 4,
+    }
+}
+
+/// Origin-class rank of controller-emitted messages (see
+/// [`OutboxEntry::class`]).
+pub(crate) const ORIGIN_CLASS_CONTROLLER: u8 = 2;
+
+/// Per-origin chaos stream, forked lazily from the plan seed exactly like
+/// [`SimRng::fork`] derives child streams: mixing the origin id keeps every
+/// origin's draw sequence independent of all others, and therefore
+/// independent of which shard the origin runs on.
+fn chaos_stream(streams: &mut FxHashMap<u32, SimRng>, seed: u64, origin: u32) -> &mut SimRng {
+    streams
+        .entry(origin)
+        .or_insert_with(|| SimRng::new(seed ^ (origin as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
 }
 
 /// The simulation.
@@ -318,49 +425,66 @@ pub struct Simulation {
     pub topo: Topology,
     /// The controller application.
     pub app: ScotchApp,
-    physical: NodeMap<PhysicalSwitch>,
-    vswitches: NodeMap<VSwitch>,
-    middleboxes: NodeMap<Middlebox>,
-    host_ip: NodeMap<IpAddr>,
-    ip_host: FxHashMap<IpAddr, NodeId>,
-    sources: Vec<(NodeId, Box<dyn FlowSource>)>,
-    flows: Vec<FlowRecord>,
-    flow_index: FlowIndex,
-    tracked: FxHashMap<scotch_net::FlowId, Vec<(SimTime, SimDuration)>>,
-    captures: NodeMap<crate::pcap::PcapCapture>,
-    events: EventQueue<Event>,
+    /// Region node lists (one per rack in the rack-based topologies).
+    /// Consumed by sharded execution to build the [`scotch_net::Partition`];
+    /// empty means the scenario cannot shard and always runs sequentially.
+    pub regions: Vec<Vec<NodeId>>,
+    pub(crate) physical: NodeMap<PhysicalSwitch>,
+    pub(crate) vswitches: NodeMap<VSwitch>,
+    pub(crate) middleboxes: NodeMap<Middlebox>,
+    pub(crate) host_ip: NodeMap<IpAddr>,
+    pub(crate) ip_host: FxHashMap<IpAddr, NodeId>,
+    pub(crate) sources: Vec<(NodeId, Box<dyn FlowSource>)>,
+    /// Global source index per local source (identity sequentially; the
+    /// shard driver re-labels when it partitions sources across lanes).
+    pub(crate) source_ids: Vec<u32>,
+    /// Next per-source flow ordinal (indexed like `sources`).
+    pub(crate) source_seq: Vec<u32>,
+    pub(crate) flows: Vec<FlowRecord>,
+    pub(crate) flow_index: FlowIndex,
+    pub(crate) tracked: FxHashMap<scotch_net::FlowId, Vec<(SimTime, SimDuration)>>,
+    pub(crate) captures: NodeMap<crate::pcap::PcapCapture>,
+    pub(crate) events: EventQueue<Event>,
     /// Optional controller processing gate (see
     /// `ScotchConfig::controller_capacity`).
-    controller_gate: Option<(scotch_sim::rate::FifoServer, SimDuration)>,
-    controller_dropped: u64,
-    drops: DropCounts,
-    latency: Histogram,
-    misrouted: u64,
+    pub(crate) controller_gate: Option<(scotch_sim::rate::FifoServer, SimDuration)>,
+    pub(crate) controller_dropped: u64,
+    pub(crate) drops: DropCounts,
+    pub(crate) latency: Histogram,
+    pub(crate) misrouted: u64,
     /// Reusable device-output buffer: one allocation for the whole run
     /// instead of one `Vec<Output>` per packet event.
     out_buf: Vec<Output>,
-    sweep_interval: SimDuration,
+    pub(crate) sweep_interval: SimDuration,
     /// Unified metrics registry: periodic series are sampled during the
     /// run, everything else is populated from the stats structs at report
     /// time (so hot-path increments stay plain `+= 1`s).
-    registry: MetricsRegistry,
+    pub(crate) registry: MetricsRegistry,
     /// Optional wall-clock dispatch-cost profiler (`bench hotpath
     /// --profile`). Never enabled on golden-report paths.
-    profiler: Option<DispatchProfiler>,
+    pub(crate) profiler: Option<DispatchProfiler>,
     /// Controller→switch messages sent, by message kind (dense arrays on
     /// the dispatch path; exported as `controller.tx.<kind>` at report
     /// time).
-    ctrl_tx: [u64; 6],
+    pub(crate) ctrl_tx: [u64; 6],
     /// Switch→controller messages received, by message kind
     /// (`controller.rx.<kind>`).
-    ctrl_rx: [u64; 6],
+    pub(crate) ctrl_rx: [u64; 6],
     /// Attached fault plan (empty = chaos harness inactive).
-    fault_plan: Vec<FaultEvent>,
-    /// Dedicated RNG for probabilistic faults (loss/dup/reorder draws);
-    /// forked from the scenario seed so chaos runs stay deterministic.
-    fault_rng: Option<SimRng>,
+    pub(crate) fault_plan: Vec<FaultEvent>,
+    /// Seed for the probabilistic fault draws (loss/dup/reorder), drawn
+    /// from the RNG the scenario forked for the chaos harness. `Some` marks
+    /// the harness active. Each perturbation *origin* (emitting node, or
+    /// the controller) lazily forks its own stream from this seed, so the
+    /// draw sequences are independent of how origins are spread over
+    /// shards.
+    pub(crate) chaos_seed: Option<u64>,
+    /// Lazily forked per-origin chaos streams (see [`chaos_stream`]).
+    pub(crate) chaos_streams: FxHashMap<u32, SimRng>,
     /// Live fault windows and the chaos accounting ledger.
-    chaos: ChaosState,
+    pub(crate) chaos: ChaosState,
+    /// Sharded-execution context (`None` sequentially).
+    pub(crate) shard: Option<ShardCtx>,
 }
 
 impl Simulation {
@@ -377,12 +501,15 @@ impl Simulation {
             controller_dropped: 0,
             topo,
             app,
+            regions: Vec::new(),
             physical: NodeMap::new(),
             vswitches: NodeMap::new(),
             middleboxes: NodeMap::new(),
             host_ip: NodeMap::new(),
             ip_host: FxHashMap::default(),
             sources: Vec::new(),
+            source_ids: Vec::new(),
+            source_seq: Vec::new(),
             flows: Vec::new(),
             flow_index: FlowIndex::default(),
             tracked: FxHashMap::default(),
@@ -398,8 +525,10 @@ impl Simulation {
             ctrl_tx: [0; 6],
             ctrl_rx: [0; 6],
             fault_plan: Vec::new(),
-            fault_rng: None,
+            chaos_seed: None,
+            chaos_streams: FxHashMap::default(),
             chaos: ChaosState::default(),
+            shard: None,
         }
     }
 
@@ -434,6 +563,8 @@ impl Simulation {
     /// Attach a workload source. `default_host` emits flows whose source
     /// address is not a registered host (spoofed traffic).
     pub fn add_source(&mut self, default_host: NodeId, source: Box<dyn FlowSource>) {
+        self.source_ids.push(self.sources.len() as u32);
+        self.source_seq.push(0);
         self.sources.push((default_host, source));
     }
 
@@ -478,13 +609,17 @@ impl Simulation {
     /// `(scenario, seed, plan)` triple replays bit-identically. `rng` seeds
     /// the probabilistic faults (loss/duplication/reordering draws) and
     /// should be forked from the scenario seed.
-    pub fn apply_fault_plan(&mut self, plan: &FaultPlan, rng: SimRng) {
+    pub fn apply_fault_plan(&mut self, plan: &FaultPlan, mut rng: SimRng) {
         for (i, ev) in plan.events.iter().enumerate() {
             self.events
                 .push(ev.at, Event::InjectFault { idx: i as u32 });
         }
         self.fault_plan = plan.events.clone();
-        self.fault_rng = Some(rng);
+        // One seed, per-origin streams forked from it on demand — the same
+        // fork discipline as workload streams, chosen so a draw sequence
+        // belongs to its origin rather than to a global interleaving (which
+        // would differ between shard counts).
+        self.chaos_seed = Some(rng.u64());
     }
 
     /// Resolve and apply fault-plan entry `idx` at `now`.
@@ -721,7 +856,7 @@ impl Simulation {
         }
     }
 
-    fn set_ofa_slowdown(&mut self, node: NodeId, factor: f64) {
+    pub(crate) fn set_ofa_slowdown(&mut self, node: NodeId, factor: f64) {
         if let Some(sw) = self.physical.get_mut(node) {
             sw.set_ofa_slowdown(factor);
         } else if let Some(vs) = self.vswitches.get_mut(node) {
@@ -755,17 +890,25 @@ impl Simulation {
         }
     }
 
-    fn control_latency(&self, node: NodeId) -> SimDuration {
+    pub(crate) fn control_latency(&self, node: NodeId) -> SimDuration {
         if let Some(s) = self.physical.get(node) {
             s.control_latency()
         } else if let Some(v) = self.vswitches.get(node) {
             v.control_latency()
+        } else if let Some(d) = self
+            .shard
+            .as_ref()
+            .and_then(|ctx| ctx.ctrl_latency.get(node.0 as usize).copied())
+        {
+            // The controller lane dispatches to switches owned by other
+            // shards; their latency comes from the pre-partition table.
+            d
         } else {
             SimDuration::from_millis(1)
         }
     }
 
-    fn dispatch_commands(&mut self, now: SimTime, commands: Vec<Command>) {
+    pub(crate) fn dispatch_commands(&mut self, now: SimTime, commands: Vec<Command>) {
         for cmd in commands {
             let kind = ctrl_tx_kind(&cmd.msg);
             self.ctrl_tx[kind] += 1;
@@ -776,7 +919,7 @@ impl Simulation {
                     ..
                 }
             );
-            if self.fault_rng.is_some() && is_flowmod_add {
+            if self.chaos_seed.is_some() && is_flowmod_add {
                 self.chaos.flowmod_add_sent += 1;
             }
             if self.app.trace.is_enabled() {
@@ -796,7 +939,10 @@ impl Simulation {
                 }
             }
             let mut at = now + self.control_latency(cmd.to);
-            if let Some(rng) = self.fault_rng.as_mut() {
+            if let Some(seed) = self.chaos_seed {
+                // All controller→switch perturbations draw from the
+                // controller's own stream.
+                let rng = chaos_stream(&mut self.chaos_streams, seed, u32::MAX);
                 if now < self.chaos.loss_until && rng.chance(self.chaos.loss_p) {
                     self.chaos.tx_dropped[kind] += 1;
                     if is_flowmod_add {
@@ -825,19 +971,84 @@ impl Simulation {
                     );
                 }
             }
-            self.events.push(
-                at,
-                Event::CtrlToSwitch {
-                    to: cmd.to,
-                    msg: Box::new(cmd.msg),
-                },
-            );
+            self.push_ctrl_to(now, at, cmd.to, Box::new(cmd.msg));
+        }
+    }
+
+    /// Push (or, sharded, outbox) a controller→switch delivery.
+    fn push_ctrl_to(
+        &mut self,
+        now: SimTime,
+        deliver: SimTime,
+        to: NodeId,
+        msg: Box<ControllerToSwitch>,
+    ) {
+        let ev = Event::CtrlToSwitch { to, msg };
+        if let Some(ctx) = self.shard.as_mut() {
+            // Every control delivery is outboxed in shard mode — even a
+            // shard-local one — so the canonical (deliver, gen, class,
+            // origin) ordering pass sees the same candidate set for every
+            // shard count. Control latency is never below the lookahead
+            // bound, so the entry is always due after the epoch ends.
+            ctx.outbox.push(OutboxEntry {
+                deliver,
+                gen: now,
+                class: ORIGIN_CLASS_CONTROLLER,
+                origin: u32::MAX,
+                ev,
+            });
+        } else {
+            self.events.push(deliver, ev);
+        }
+    }
+
+    /// Push (or, sharded, outbox) a switch→controller delivery.
+    fn push_ctrl_from(
+        &mut self,
+        now: SimTime,
+        deliver: SimTime,
+        from: NodeId,
+        msg: Box<SwitchToController>,
+    ) {
+        let class = origin_class(self.topo.kind(from));
+        let ev = Event::CtrlFromSwitch { from, msg };
+        if let Some(ctx) = self.shard.as_mut() {
+            ctx.outbox.push(OutboxEntry {
+                deliver,
+                gen: now,
+                class,
+                origin: from.0,
+                ev,
+            });
+        } else {
+            self.events.push(deliver, ev);
         }
     }
 
     fn transmit(&mut self, now: SimTime, from: NodeId, out_port: PortId, packet: Packet) {
         match self.topo.transmit(now, from, out_port, packet.size) {
             Some((to, in_port, at)) => {
+                if let Some(ctx) = self.shard.as_mut() {
+                    if ctx.part.shard_of(to) != ctx.shard {
+                        // Cross-shard arrival: the from-link is always owned
+                        // here (its queue/counters live in this lane's topo
+                        // clone); only the arrival event crosses. Its delay
+                        // is at least the link propagation, which the
+                        // lookahead bound is the minimum of.
+                        ctx.outbox.push(OutboxEntry {
+                            deliver: at,
+                            gen: now,
+                            class: origin_class(self.topo.kind(from)),
+                            origin: from.0,
+                            ev: Event::Arrive {
+                                node: to,
+                                port: in_port,
+                                packet,
+                            },
+                        });
+                        return;
+                    }
+                }
                 self.events.push(
                     at,
                     Event::Arrive {
@@ -861,7 +1072,11 @@ impl Simulation {
                 }
                 Output::ToController { at, msg } => {
                     let mut deliver = at.max(now) + self.control_latency(node);
-                    if let Some(rng) = self.fault_rng.as_mut() {
+                    let mut duplicate = false;
+                    if let Some(seed) = self.chaos_seed {
+                        // Switch→controller perturbations draw from the
+                        // emitting node's own stream.
+                        let rng = chaos_stream(&mut self.chaos_streams, seed, node.0);
                         let kind = ctrl_rx_kind(&msg);
                         if now < self.chaos.loss_until && rng.chance(self.chaos.loss_p) {
                             self.chaos.rx_dropped[kind] += 1;
@@ -892,22 +1107,13 @@ impl Simulation {
                             self.app
                                 .trace
                                 .record(now, TraceEvent::CtrlMsgPerturbed { kind: PERTURB_DUP });
-                            self.events.push(
-                                deliver,
-                                Event::CtrlFromSwitch {
-                                    from: node,
-                                    msg: Box::new(msg.clone()),
-                                },
-                            );
+                            duplicate = true;
                         }
                     }
-                    self.events.push(
-                        deliver,
-                        Event::CtrlFromSwitch {
-                            from: node,
-                            msg: Box::new(msg),
-                        },
-                    );
+                    if duplicate {
+                        self.push_ctrl_from(now, deliver, node, Box::new(msg.clone()));
+                    }
+                    self.push_ctrl_from(now, deliver, node, Box::new(msg));
                 }
                 Output::Dropped { reason, .. } => match reason {
                     DropReason::OfaOverload => self.drops.ofa_overload += 1,
@@ -976,6 +1182,15 @@ impl Simulation {
     }
 
     fn deliver(&mut self, now: SimTime, host: NodeId, packet: Packet) {
+        if let Some(ctx) = self.shard.as_mut() {
+            // Delivery only mutates accounting (flow record, latency
+            // histogram, tracked samples) — it schedules nothing and
+            // touches no device. Defer it to the driver, which applies all
+            // shards' deliveries at the barrier in global time order
+            // against the single authoritative accounting state.
+            ctx.deliveries.push((now, host, packet));
+            return;
+        }
         let expected = self.host_ip.get(host);
         if expected != Some(&packet.key.dst) {
             self.misrouted += 1;
@@ -1018,6 +1233,8 @@ impl Simulation {
             .unwrap_or(*default_host);
         let idx = self.flows.len();
         self.flow_index.insert(flow.id, idx);
+        let seq = self.source_seq[source_idx];
+        self.source_seq[source_idx] = seq + 1;
         self.flows.push(FlowRecord {
             spec: flow,
             src_host,
@@ -1028,6 +1245,8 @@ impl Simulation {
             first_delivered: None,
             last_delivered: None,
             served_by: None,
+            source: self.source_ids[source_idx],
+            seq,
         });
         self.events.push(
             at,
@@ -1040,6 +1259,12 @@ impl Simulation {
     }
 
     fn on_emit(&mut self, now: SimTime, flow_idx: usize, seq: u32) {
+        debug_assert!(
+            self.shard
+                .as_ref()
+                .is_none_or(|c| c.part.shard_of(self.flows[flow_idx].src_host) == c.shard),
+            "flow emitted on a lane that does not own its source host"
+        );
         let (packet, src_host, more) = {
             let rec = &mut self.flows[flow_idx];
             let spec = &rec.spec;
@@ -1072,7 +1297,7 @@ impl Simulation {
         }
     }
 
-    /// Run until `until`, returning the report.
+    /// Validate the scenario and seed the initial events.
     ///
     /// # Panics
     ///
@@ -1080,7 +1305,12 @@ impl Simulation {
     /// uplink port — that is a scenario construction error, not a runtime
     /// condition, and silently misdirecting its traffic would corrupt
     /// every downstream metric.
-    pub fn run(mut self, until: SimTime) -> Report {
+    ///
+    /// In shard mode the controller timers (tick / stats poll / heartbeat)
+    /// are seeded on shard 0 only — the controller lives there — while the
+    /// expiry sweep runs on every lane (each lane sweeps its own devices)
+    /// and each lane seeds the sources it owns.
+    pub(crate) fn start(&mut self) {
         for (host, _) in self.host_ip.iter() {
             assert!(
                 self.topo.port_iter(host).next().is_some(),
@@ -1101,11 +1331,13 @@ impl Simulation {
         let tick = self.app.config.tick_interval;
         let poll = self.app.config.stats_poll_interval;
         let hb = self.app.config.heartbeat_period;
-        self.events
-            .push(SimTime::ZERO + tick, Event::ControllerTick);
-        if self.app.mode == ControllerMode::Scotch {
-            self.events.push(SimTime::ZERO + poll, Event::StatsPoll);
-            self.events.push(SimTime::ZERO + hb, Event::Heartbeat);
+        if self.shard.as_ref().is_none_or(|c| c.shard == 0) {
+            self.events
+                .push(SimTime::ZERO + tick, Event::ControllerTick);
+            if self.app.mode == ControllerMode::Scotch {
+                self.events.push(SimTime::ZERO + poll, Event::StatsPoll);
+                self.events.push(SimTime::ZERO + hb, Event::Heartbeat);
+            }
         }
         self.events
             .push(SimTime::ZERO + self.sweep_interval, Event::ExpirySweep);
@@ -1113,7 +1345,16 @@ impl Simulation {
             self.events
                 .push(SimTime::ZERO, Event::SourceNext { source_idx: i });
         }
+    }
 
+    /// Run until `until`, returning the report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any registered host (or workload default host) has no
+    /// uplink port (see [`Simulation::start`]).
+    pub fn run(mut self, until: SimTime) -> Report {
+        self.start();
         let mut processed = 0u64;
         let mut overflow_event: Option<Event> = None;
         while let Some((now, ev)) = self.events.pop() {
@@ -1124,135 +1365,187 @@ impl Simulation {
                 break;
             }
             processed += 1;
-            // The profiler is `None` on every measured path; the stamp is a
-            // single well-predicted branch per event when disabled.
-            let prof = self
-                .profiler
-                .as_ref()
-                .map(|_| (ev.kind(), std::time::Instant::now()));
-            match ev {
-                Event::Arrive { node, port, packet } => self.on_arrive(now, node, port, packet),
-                Event::EmitPacket { flow_idx, seq } => self.on_emit(now, flow_idx, seq),
-                Event::SourceNext { source_idx } => self.on_source_next(source_idx),
-                Event::CtrlFromSwitch { from, msg } => {
-                    if now < self.chaos.stall_until {
-                        // Controller outage: defer the message (order among
-                        // deferred messages is preserved by insertion seq).
-                        self.chaos.deferred += 1;
-                        self.events
-                            .push(self.chaos.stall_until, Event::CtrlFromSwitch { from, msg });
-                        continue;
-                    }
-                    self.ctrl_rx[ctrl_rx_kind(&msg)] += 1;
-                    match &mut self.controller_gate {
-                        Some((server, service)) => match server.offer(now, *service) {
-                            scotch_sim::rate::Admission::Accepted { departs_at } => {
-                                self.events
-                                    .push(departs_at, Event::CtrlProcessed { from, msg });
-                            }
-                            scotch_sim::rate::Admission::Rejected => {
-                                self.controller_dropped += 1;
-                            }
-                        },
-                        None => {
-                            let cmds = {
-                                let topo = &self.topo;
-                                self.app.handle_switch_msg(now, topo, from, *msg)
-                            };
-                            self.dispatch_commands(now, cmds);
+            self.process_event(now, ev);
+        }
+
+        if !self.fault_plan.is_empty() {
+            // Tally everything still queued past the horizon so the chaos
+            // conservation invariants reconcile exactly (messages in flight
+            // are neither delivered nor lost — they are accounted).
+            if let Some(ev) = overflow_event.take() {
+                self.chaos.tally_in_flight(&ev);
+            }
+            self.tally_remaining();
+        }
+
+        self.into_report(until, processed)
+    }
+
+    /// Pop and process every event strictly before `bound`, returning the
+    /// number of events processed. Shard lanes advance through one epoch
+    /// with this; the epoch driver guarantees no cross-shard event earlier
+    /// than `bound` can still arrive.
+    pub(crate) fn run_epoch(&mut self, bound: SimTime) -> u64 {
+        let mut processed = 0u64;
+        while self.events.peek_time().is_some_and(|t| t < bound) {
+            let (now, ev) = self.events.pop().expect("peeked event present");
+            processed += 1;
+            if matches!(ev, Event::ExpirySweep) {
+                if let Some(ctx) = self.shard.as_mut() {
+                    ctx.sweep_pops += 1;
+                }
+            }
+            self.process_event(now, ev);
+        }
+        processed
+    }
+
+    /// Drain the queue into the chaos in-flight tally (end-of-run
+    /// reconciliation for fault-plan scenarios).
+    pub(crate) fn tally_remaining(&mut self) {
+        while let Some((_, ev)) = self.events.pop() {
+            self.chaos.tally_in_flight(&ev);
+        }
+    }
+
+    /// Process one event. Extracted from the run loop so shard lanes and
+    /// the sequential driver share byte-identical semantics.
+    pub(crate) fn process_event(&mut self, now: SimTime, ev: Event) {
+        // The profiler is `None` on every measured path; the stamp is a
+        // single well-predicted branch per event when disabled.
+        let prof = self
+            .profiler
+            .as_ref()
+            .map(|_| (ev.kind(), std::time::Instant::now()));
+        match ev {
+            Event::Arrive { node, port, packet } => self.on_arrive(now, node, port, packet),
+            Event::EmitPacket { flow_idx, seq } => self.on_emit(now, flow_idx, seq),
+            Event::SourceNext { source_idx } => self.on_source_next(source_idx),
+            Event::CtrlFromSwitch { from, msg } => {
+                if now < self.chaos.stall_until {
+                    // Controller outage: defer the message (order among
+                    // deferred messages is preserved by insertion seq).
+                    self.chaos.deferred += 1;
+                    self.events
+                        .push(self.chaos.stall_until, Event::CtrlFromSwitch { from, msg });
+                    return;
+                }
+                self.ctrl_rx[ctrl_rx_kind(&msg)] += 1;
+                match &mut self.controller_gate {
+                    Some((server, service)) => match server.offer(now, *service) {
+                        scotch_sim::rate::Admission::Accepted { departs_at } => {
+                            self.events
+                                .push(departs_at, Event::CtrlProcessed { from, msg });
                         }
-                    }
-                }
-                Event::CtrlProcessed { from, msg } => {
-                    if now < self.chaos.stall_until {
-                        self.chaos.deferred += 1;
-                        self.events
-                            .push(self.chaos.stall_until, Event::CtrlProcessed { from, msg });
-                        continue;
-                    }
-                    let cmds = {
-                        let topo = &self.topo;
-                        self.app.handle_switch_msg(now, topo, from, *msg)
-                    };
-                    self.dispatch_commands(now, cmds);
-                }
-                Event::CtrlToSwitch { to, msg } => {
-                    if self.fault_rng.is_some() {
-                        // A failed vSwitch absorbs the command (its own
-                        // ctrl_absorbed counter also ticks); so does a node
-                        // with no attached device. Tallied so the FlowMod
-                        // conservation ledger balances exactly.
-                        let dead_vs = self.vswitches.get(to).map(|v| v.failed).unwrap_or(false);
-                        let no_device =
-                            self.physical.get(to).is_none() && self.vswitches.get(to).is_none();
-                        if dead_vs || no_device {
-                            self.chaos.absorbed[ctrl_tx_kind(&msg)] += 1;
-                            if matches!(
-                                msg.as_ref(),
-                                ControllerToSwitch::FlowMod {
-                                    command: FlowModCommand::Add(_),
-                                    ..
-                                }
-                            ) {
-                                self.chaos.flowmod_add_absorbed += 1;
-                            }
+                        scotch_sim::rate::Admission::Rejected => {
+                            self.controller_dropped += 1;
                         }
-                    }
-                    let mut outputs = if let Some(sw) = self.physical.get_mut(to) {
-                        sw.handle_controller_msg(now, *msg)
-                    } else if let Some(vs) = self.vswitches.get_mut(to) {
-                        vs.handle_controller_msg(now, *msg)
-                    } else {
-                        Vec::new()
-                    };
-                    self.handle_outputs(now, to, &mut outputs);
-                }
-                Event::ControllerTick => {
-                    // During a controller stall the periodic work is skipped
-                    // but the timer keeps re-arming, so the cadence resumes
-                    // as soon as the stall window ends.
-                    if now >= self.chaos.stall_until {
+                    },
+                    None => {
                         let cmds = {
                             let topo = &self.topo;
-                            self.app.tick(now, topo)
+                            self.app.handle_switch_msg(now, topo, from, *msg)
                         };
                         self.dispatch_commands(now, cmds);
                     }
-                    self.events.push(now + tick, Event::ControllerTick);
                 }
-                Event::StatsPoll => {
-                    if now >= self.chaos.stall_until {
-                        let cmds = self.app.poll_stats();
-                        self.dispatch_commands(now, cmds);
-                    }
-                    self.events.push(now + poll, Event::StatsPoll);
+            }
+            Event::CtrlProcessed { from, msg } => {
+                if now < self.chaos.stall_until {
+                    self.chaos.deferred += 1;
+                    self.events
+                        .push(self.chaos.stall_until, Event::CtrlProcessed { from, msg });
+                    return;
                 }
-                Event::Heartbeat => {
-                    if now >= self.chaos.stall_until {
-                        let cmds = self.app.heartbeat(now);
-                        self.dispatch_commands(now, cmds);
-                    }
-                    self.events.push(now + hb, Event::Heartbeat);
-                }
-                Event::ExpirySweep => {
-                    // Ascending-id walks (no key collection): dense stores
-                    // make the sweep order deterministic by construction.
-                    for i in 0..self.physical.id_bound() {
-                        let n = NodeId(i);
-                        if let Some(sw) = self.physical.get_mut(n) {
-                            let mut outs = sw.expire_flows(now);
-                            self.handle_outputs(now, n, &mut outs);
+                let cmds = {
+                    let topo = &self.topo;
+                    self.app.handle_switch_msg(now, topo, from, *msg)
+                };
+                self.dispatch_commands(now, cmds);
+            }
+            Event::CtrlToSwitch { to, msg } => {
+                if self.chaos_seed.is_some() {
+                    // A failed vSwitch absorbs the command (its own
+                    // ctrl_absorbed counter also ticks); so does a node
+                    // with no attached device. Tallied so the FlowMod
+                    // conservation ledger balances exactly.
+                    let dead_vs = self.vswitches.get(to).map(|v| v.failed).unwrap_or(false);
+                    let no_device =
+                        self.physical.get(to).is_none() && self.vswitches.get(to).is_none();
+                    if dead_vs || no_device {
+                        self.chaos.absorbed[ctrl_tx_kind(&msg)] += 1;
+                        if matches!(
+                            msg.as_ref(),
+                            ControllerToSwitch::FlowMod {
+                                command: FlowModCommand::Add(_),
+                                ..
+                            }
+                        ) {
+                            self.chaos.flowmod_add_absorbed += 1;
                         }
                     }
-                    for i in 0..self.vswitches.id_bound() {
-                        let n = NodeId(i);
-                        if let Some(vs) = self.vswitches.get_mut(n) {
-                            let mut outs = vs.expire_flows(now);
-                            self.handle_outputs(now, n, &mut outs);
-                        }
+                }
+                let mut outputs = if let Some(sw) = self.physical.get_mut(to) {
+                    sw.handle_controller_msg(now, *msg)
+                } else if let Some(vs) = self.vswitches.get_mut(to) {
+                    vs.handle_controller_msg(now, *msg)
+                } else {
+                    Vec::new()
+                };
+                self.handle_outputs(now, to, &mut outputs);
+            }
+            Event::ControllerTick => {
+                // During a controller stall the periodic work is skipped
+                // but the timer keeps re-arming, so the cadence resumes
+                // as soon as the stall window ends.
+                if now >= self.chaos.stall_until {
+                    let cmds = {
+                        let topo = &self.topo;
+                        self.app.tick(now, topo)
+                    };
+                    self.dispatch_commands(now, cmds);
+                }
+                self.events
+                    .push(now + self.app.config.tick_interval, Event::ControllerTick);
+            }
+            Event::StatsPoll => {
+                if now >= self.chaos.stall_until {
+                    let cmds = self.app.poll_stats();
+                    self.dispatch_commands(now, cmds);
+                }
+                self.events
+                    .push(now + self.app.config.stats_poll_interval, Event::StatsPoll);
+            }
+            Event::Heartbeat => {
+                if now >= self.chaos.stall_until {
+                    let cmds = self.app.heartbeat(now);
+                    self.dispatch_commands(now, cmds);
+                }
+                self.events
+                    .push(now + self.app.config.heartbeat_period, Event::Heartbeat);
+            }
+            Event::ExpirySweep => {
+                // Ascending-id walks (no key collection): dense stores
+                // make the sweep order deterministic by construction.
+                for i in 0..self.physical.id_bound() {
+                    let n = NodeId(i);
+                    if let Some(sw) = self.physical.get_mut(n) {
+                        let mut outs = sw.expire_flows(now);
+                        self.handle_outputs(now, n, &mut outs);
                     }
-                    // Once-per-sweep (1 Hz sim-time) gauge sampling: cheap,
-                    // deterministic, and off the per-packet path entirely.
+                }
+                for i in 0..self.vswitches.id_bound() {
+                    let n = NodeId(i);
+                    if let Some(vs) = self.vswitches.get_mut(n) {
+                        let mut outs = vs.expire_flows(now);
+                        self.handle_outputs(now, n, &mut outs);
+                    }
+                }
+                // Once-per-sweep (1 Hz sim-time) gauge sampling: cheap,
+                // deterministic, and off the per-packet path entirely.
+                // Only the hub lane samples — the controller (and its
+                // registry that survives into the report) lives there.
+                if self.shard.as_ref().is_none_or(|c| c.shard == 0) {
                     self.registry.sample(
                         "controller.flowdb.size",
                         now,
@@ -1275,112 +1568,98 @@ impl Simulation {
                         now,
                         self.app.overlay.backups.len() as f64,
                     );
-                    self.events
-                        .push(now + self.sweep_interval, Event::ExpirySweep);
                 }
-                Event::FailVSwitch { node } => {
-                    if let Some(vs) = self.vswitches.get_mut(node) {
-                        vs.failed = true;
-                    }
+                self.events
+                    .push(now + self.sweep_interval, Event::ExpirySweep);
+            }
+            Event::FailVSwitch { node } => {
+                if let Some(vs) = self.vswitches.get_mut(node) {
+                    vs.failed = true;
                 }
-                Event::JoinVSwitch { node } => {
-                    let cmds = {
-                        let topo = &self.topo;
-                        self.app.join_vswitch(now, topo, node)
-                    };
-                    self.dispatch_commands(now, cmds);
+            }
+            Event::JoinVSwitch { node } => {
+                let cmds = {
+                    let topo = &self.topo;
+                    self.app.join_vswitch(now, topo, node)
+                };
+                self.dispatch_commands(now, cmds);
+            }
+            Event::RecoverVSwitch { node } => {
+                if let Some(vs) = self.vswitches.get_mut(node) {
+                    vs.failed = false;
                 }
-                Event::RecoverVSwitch { node } => {
-                    if let Some(vs) = self.vswitches.get_mut(node) {
-                        vs.failed = false;
-                    }
-                    self.app.recover_vswitch(now, node);
-                    if self.fault_rng.is_some() {
-                        // Restart half of a VSwitchCrash fault.
-                        self.app.trace.record(
-                            now,
-                            TraceEvent::FaultCleared {
-                                kind: 0,
-                                target: node.0,
-                            },
-                        );
-                    }
-                }
-                Event::InjectFault { idx } => self.on_inject_fault(now, idx),
-                Event::SetLinkUp {
-                    link,
-                    up,
-                    kind,
-                    finale,
-                } => {
-                    self.topo.set_link_up(link, up);
-                    if finale {
-                        self.app.trace.record(
-                            now,
-                            TraceEvent::FaultCleared {
-                                kind: u32::from(kind),
-                                target: link.0,
-                            },
-                        );
-                    }
-                }
-                Event::ClearLinkDegrade { link } => {
-                    self.topo.set_link_extra_delay(link, SimDuration::ZERO);
+                self.app.recover_vswitch(now, node);
+                if self.chaos_seed.is_some() {
+                    // Restart half of a VSwitchCrash fault.
                     self.app.trace.record(
                         now,
                         TraceEvent::FaultCleared {
-                            kind: 3,
-                            target: link.0,
-                        },
-                    );
-                }
-                Event::ClearOfaSlowdown { node } => {
-                    self.set_ofa_slowdown(node, 1.0);
-                    self.app.trace.record(
-                        now,
-                        TraceEvent::FaultCleared {
-                            kind: 7,
+                            kind: 0,
                             target: node.0,
                         },
                     );
                 }
-                Event::ClearControllerStall => {
-                    // Stall windows can extend; only the final marker (at or
-                    // past the latest `stall_until`) traces the clear.
-                    if now >= self.chaos.stall_until {
-                        self.app.trace.record(
-                            now,
-                            TraceEvent::FaultCleared {
-                                kind: 8,
-                                target: u32::MAX,
-                            },
-                        );
-                    }
+            }
+            Event::InjectFault { idx } => self.on_inject_fault(now, idx),
+            Event::SetLinkUp {
+                link,
+                up,
+                kind,
+                finale,
+            } => {
+                self.topo.set_link_up(link, up);
+                if finale {
+                    self.app.trace.record(
+                        now,
+                        TraceEvent::FaultCleared {
+                            kind: u32::from(kind),
+                            target: link.0,
+                        },
+                    );
                 }
             }
-            if let Some((kind, t0)) = prof {
-                if let Some(p) = self.profiler.as_mut() {
-                    p.record(kind, t0.elapsed().as_nanos() as f64);
+            Event::ClearLinkDegrade { link } => {
+                self.topo.set_link_extra_delay(link, SimDuration::ZERO);
+                self.app.trace.record(
+                    now,
+                    TraceEvent::FaultCleared {
+                        kind: 3,
+                        target: link.0,
+                    },
+                );
+            }
+            Event::ClearOfaSlowdown { node } => {
+                self.set_ofa_slowdown(node, 1.0);
+                self.app.trace.record(
+                    now,
+                    TraceEvent::FaultCleared {
+                        kind: 7,
+                        target: node.0,
+                    },
+                );
+            }
+            Event::ClearControllerStall => {
+                // Stall windows can extend; only the final marker (at or
+                // past the latest `stall_until`) traces the clear.
+                if now >= self.chaos.stall_until {
+                    self.app.trace.record(
+                        now,
+                        TraceEvent::FaultCleared {
+                            kind: 8,
+                            target: u32::MAX,
+                        },
+                    );
                 }
             }
         }
-
-        if !self.fault_plan.is_empty() {
-            // Tally everything still queued past the horizon so the chaos
-            // conservation invariants reconcile exactly (messages in flight
-            // are neither delivered nor lost — they are accounted).
-            if let Some(ev) = overflow_event.take() {
-                self.chaos.tally_in_flight(&ev);
-            }
-            while let Some((_, ev)) = self.events.pop() {
-                self.chaos.tally_in_flight(&ev);
+        if let Some((kind, t0)) = prof {
+            if let Some(p) = self.profiler.as_mut() {
+                p.record(kind, t0.elapsed().as_nanos() as f64);
             }
         }
-
-        self.into_report(until, processed)
     }
 
-    fn into_report(mut self, until: SimTime, events_processed: u64) -> Report {
+    pub(crate) fn into_report(mut self, until: SimTime, events_processed: u64) -> Report {
         let mut drops = self.drops;
         drops.link_queue += self.topo.total_link_drops();
         drops.link_faults = self.topo.total_link_faults();

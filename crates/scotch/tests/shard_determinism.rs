@@ -1,0 +1,142 @@
+//! Shard-count invariance: the canonical report of a sharded run must be
+//! byte-identical to the sequential run's, for every shard count and
+//! thread count. These tests are the local mirror of CI's
+//! `determinism-matrix` job.
+
+use proptest::prelude::*;
+use scotch::scenario::Scenario;
+use scotch_sim::fault::{FaultKind, FaultPlan};
+use scotch_sim::{SimDuration, SimTime};
+
+/// A multi-rack scenario with per-rack traffic — the shape sharding is
+/// built for. Inter-rack propagation is raised so the conservative
+/// lookahead window is wide enough for shards to batch real work.
+fn parallel_scenario(racks: usize) -> Scenario {
+    Scenario::multirack(racks, 1)
+        .with_interrack_propagation(SimDuration::from_micros(200))
+        .with_rack_clients(150.0)
+        .with_attack(400.0)
+        .with_clients(80.0)
+}
+
+fn canonical(report: scotch::Report) -> String {
+    report.canonical_json()
+}
+
+#[test]
+fn multirack_sharded_matches_sequential() {
+    let until = SimTime::from_millis(400);
+    let seed = 20141202;
+    let base = canonical(parallel_scenario(4).run(until, seed));
+    for shards in [2usize, 3, 4, 8] {
+        let got = canonical(parallel_scenario(4).run_sharded(until, seed, shards, 1));
+        assert_eq!(
+            got, base,
+            "canonical report diverged at --shards {shards} (sequential lockstep)"
+        );
+    }
+}
+
+#[test]
+fn threaded_lockstep_matches_single_threaded() {
+    let until = SimTime::from_millis(400);
+    let seed = 7;
+    let single = canonical(parallel_scenario(3).run_sharded(until, seed, 4, 1));
+    let threaded = canonical(parallel_scenario(3).run_sharded(until, seed, 4, 4));
+    assert_eq!(
+        threaded, single,
+        "thread count changed the canonical report"
+    );
+}
+
+#[test]
+fn sharded_chaos_plan_matches_sequential() {
+    let mut plan = FaultPlan::new();
+    plan.push(
+        SimTime::from_millis(40),
+        FaultKind::VSwitchCrash {
+            target: 1,
+            restart_after: Some(SimDuration::from_millis(60)),
+        },
+    );
+    plan.push(
+        SimTime::from_millis(90),
+        FaultKind::OfaSlowdown {
+            target: 0,
+            factor: 4.0,
+            duration: SimDuration::from_millis(50),
+        },
+    );
+    plan.push(
+        SimTime::from_millis(140),
+        FaultKind::ControllerStall {
+            duration: SimDuration::from_millis(15),
+        },
+    );
+    let scenario = || parallel_scenario(3).with_fault_plan(plan.clone());
+    let until = SimTime::from_millis(300);
+    let base = canonical(scenario().run(until, 42));
+    for shards in [2usize, 4] {
+        let got = canonical(scenario().run_sharded(until, 42, shards, 0));
+        assert_eq!(
+            got, base,
+            "chaos canonical report diverged at --shards {shards}"
+        );
+    }
+}
+
+#[test]
+fn rackless_scenarios_fall_back_to_sequential() {
+    // No rack regions → the partitioner is trivial and the sharded entry
+    // point must produce exactly the sequential engine's output.
+    let until = SimTime::from_millis(200);
+    let scenario = || {
+        Scenario::overlay_datacenter(2)
+            .with_attack(500.0)
+            .with_clients(50.0)
+    };
+    let base = canonical(scenario().run(until, 9));
+    let got = canonical(scenario().run_sharded(until, 9, 8, 4));
+    assert_eq!(got, base);
+}
+
+#[test]
+#[should_panic(expected = "lookahead floor")]
+fn interrack_link_below_lookahead_floor_is_rejected() {
+    // A cross-shard link faster than the minimum lookahead bound would
+    // force zero-width epochs; scenario construction must reject it.
+    parallel_scenario(2)
+        .with_interrack_propagation(SimDuration::from_nanos(200))
+        .run_sharded(SimTime::from_millis(50), 1, 2, 1);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 6, // each case is two full simulation runs
+        .. ProptestConfig::default()
+    })]
+
+    /// Randomized cross-shard property: arbitrary rack topologies, seeds,
+    /// and shard counts all reproduce the sequential canonical report.
+    #[test]
+    fn prop_random_topologies_shard_invariant(
+        racks in 2usize..6,
+        mesh in 1usize..3,
+        shards in 2usize..9,
+        seed in 0u64..1_000_000,
+    ) {
+        let until = SimTime::from_millis(150);
+        let build = || {
+            Scenario::multirack(racks, mesh)
+                .with_interrack_propagation(SimDuration::from_micros(150))
+                .with_rack_clients(120.0)
+                .with_attack(300.0)
+        };
+        let base = canonical(build().run(until, seed));
+        let got = canonical(build().run_sharded(until, seed, shards, 0));
+        prop_assert_eq!(
+            got, base,
+            "racks={} mesh={} shards={} seed={}", racks, mesh, shards, seed
+        );
+    }
+}
