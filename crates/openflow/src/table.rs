@@ -42,6 +42,13 @@ pub struct FlowEntry {
     pub packet_count: u64,
     /// Bytes matched.
     pub byte_count: u64,
+    /// Packets matched *and* picked by the telemetry sampler (zero unless
+    /// the owning switch samples; see the switch crate's `PacketSampler`).
+    /// Living on the entry means sampled state is evicted, replaced and
+    /// reset exactly when the entry itself is — no side-table bookkeeping.
+    pub sampled_packets: u64,
+    /// Bytes of sampled packets.
+    pub sampled_bytes: u64,
 }
 
 impl FlowEntry {
@@ -58,6 +65,8 @@ impl FlowEntry {
             last_hit: SimTime::ZERO,
             packet_count: 0,
             byte_count: 0,
+            sampled_packets: 0,
+            sampled_bytes: 0,
         }
     }
 
@@ -432,6 +441,23 @@ impl FlowTable {
         e.byte_count += packet.size as u64;
         e.last_hit = now;
         Some(self.slots[idx].as_ref().unwrap())
+    }
+
+    /// [`FlowTable::match_packet`] returning a mutable entry, for callers
+    /// that update per-entry state beyond the hit counters (the vSwitch
+    /// telemetry sampler bumps `sampled_packets`/`sampled_bytes` here).
+    pub fn match_packet_mut(
+        &mut self,
+        now: SimTime,
+        packet: &Packet,
+        in_port: PortId,
+    ) -> Option<&mut FlowEntry> {
+        let idx = self.best_slot(packet, in_port)?;
+        let e = self.slots[idx].as_mut().unwrap();
+        e.packet_count += 1;
+        e.byte_count += packet.size as u64;
+        e.last_hit = now;
+        Some(e)
     }
 
     /// Iterate over installed entries (stats collection).

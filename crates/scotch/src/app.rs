@@ -21,6 +21,7 @@ use crate::config::ScotchConfig;
 use crate::migration::ElephantDetector;
 use crate::overlay::OverlayManager;
 use crate::queues::{EnqueueOutcome, GrantedWork, MigrationJob, PendingFlow, RuleScheduler};
+use crate::telemetry::TelemetryCache;
 use scotch_controller::baseline::{plan_flow_rules, PHYSICAL_RULE_PRIORITY};
 use scotch_controller::flowdb::FlowPath;
 use scotch_controller::{
@@ -100,6 +101,14 @@ pub struct AppStats {
     pub rule_failures: u64,
     /// Overlay-routed flows whose destination has no host vSwitch.
     pub overlay_undeliverable: u64,
+    /// Elephant decisions made (newly flagged flows).
+    pub elephant_decisions: u64,
+    /// Summed migration-decision latency (ns): for each newly flagged
+    /// elephant, the age of its exporting rule at decision time — how
+    /// long the flow ran before the monitor called it an elephant.
+    /// Divide by `elephant_decisions` for the mean; the sampling-rate
+    /// ablation sweep plots exactly this.
+    pub decision_latency_ns: u64,
 }
 
 impl AppStats {
@@ -131,6 +140,14 @@ impl AppStats {
         reg.add(
             &format!("{prefix}.overlay_undeliverable"),
             self.overlay_undeliverable,
+        );
+        reg.add(
+            &format!("{prefix}.elephant_decisions"),
+            self.elephant_decisions,
+        );
+        reg.add(
+            &format!("{prefix}.decision_latency_ns"),
+            self.decision_latency_ns,
         );
     }
 }
@@ -179,6 +196,11 @@ pub struct ScotchApp {
     /// Destination-indexed middlebox policies.
     policies: FxHashMap<IpAddr, PolicyChain>,
     detector: ElephantDetector,
+    /// NetFlow-style aggregation cache turning stats records into rate
+    /// estimates (exact in exhaustive mode, inverse-probability-scaled
+    /// under sampling). Public so the composition root can export its
+    /// `monitor.*` metrics and cache-size gauge.
+    pub telemetry: TelemetryCache,
     /// Flow key per issued cookie. Cookies are handed out sequentially
     /// from 1, so cookie `c` lives at index `c - 1` — a dense `Vec` instead
     /// of a map that grows by one entry per installed flow.
@@ -216,6 +238,7 @@ impl ScotchApp {
             tcam_monitor: PacketInMonitor::new(SimDuration::from_secs(1)),
             heartbeats,
             detector,
+            telemetry: TelemetryCache::new(),
             config,
             book,
             flowdb: FlowInfoDatabase::new(),
@@ -1115,8 +1138,14 @@ impl ScotchApp {
         // (§5.5 step 1): keep forwarding them to the overlay after the
         // default rule goes away. Liveness comes from the stats polls —
         // pinning every flow ever seen would flood the rule budget with
-        // rules for long-dead one-packet flows.
-        let live_horizon = SimDuration(self.config.stats_poll_interval.0 * 2 + 1);
+        // rules for long-dead one-packet flows. The horizon derives from
+        // the telemetry config: under sparse sampling a live flow is only
+        // *observed* every ~1/rate polls, so the window stretches
+        // accordingly instead of spuriously expiring it.
+        let live_horizon = self
+            .config
+            .telemetry
+            .live_horizon(self.config.stats_poll_interval);
         let pins: Vec<(FlowKey, PortId)> = self
             .flowdb
             .overlay_flows()
@@ -1332,6 +1361,7 @@ impl ScotchApp {
         }
 
         self.detector.expire(now, SimDuration::from_secs(60));
+        self.telemetry.expire(now, SimDuration::from_secs(60));
         out
     }
 
@@ -1469,15 +1499,28 @@ impl ScotchApp {
         if !self.config.migration_enabled {
             return Vec::new();
         }
+        // Aggregate the records into rate estimates (exact in exhaustive
+        // mode; Horvitz–Thompson-scaled under sampling), then touch the
+        // liveness clock of every active flow *before* judging elephants —
+        // the migration path below reads flow state the touches update.
+        let scale = self.config.telemetry.scale();
         let cookie_keys = &self.cookie_keys;
-        let (elephants, active) = self.detector.ingest(now, from, stats, |st| {
+        let estimates = self.telemetry.ingest(now, from, stats, scale, |st| {
             let idx = st.cookie.checked_sub(1)?;
             cookie_keys.get(idx as usize).copied()
         });
-        for key in active {
-            self.flowdb.touch(&key, now);
+        for est in &estimates {
+            if est.active {
+                self.flowdb.touch(&est.key, now);
+            }
         }
-        for key in elephants {
+        for est in &estimates {
+            if !self.detector.observe(now, est) {
+                continue;
+            }
+            self.stats.elephant_decisions += 1;
+            self.stats.decision_latency_ns += est.duration.0;
+            let key = est.key;
             if let Some(info) = self.flowdb.get(&key) {
                 if info.path == FlowPath::Overlay && !info.migrated {
                     let first_hop = info.first_hop;
@@ -1865,6 +1908,65 @@ mod tests {
         assert!(
             order.windows(2).all(|w| w[0] <= w[1]),
             "pins first: {order:?}"
+        );
+    }
+
+    /// Drive activation, park one overlay flow last-touched at t=10 s,
+    /// then withdraw around t=50 s; returns how many pin rules were
+    /// installed for it.
+    fn pins_after_late_withdrawal(telemetry: crate::config::TelemetryConfig) -> usize {
+        let mut f = fixture(ControllerMode::Scotch);
+        f.app.config.telemetry = telemetry;
+        for i in 0..200u64 {
+            f.app
+                .monitor
+                .record(f.ps, SimTime::from_millis(900 + i.min(5)));
+        }
+        f.app.tick(SimTime::from_secs(1), &f.topo);
+        assert!(f.app.is_active(f.ps));
+        let k = key(78, f.server_ip);
+        f.app.flowdb.record(
+            k,
+            f.ps,
+            PortId(2),
+            SimTime::from_millis(1100),
+            FlowPath::Overlay,
+        );
+        // Last observed activity: a stats sighting at t = 10 s. Under
+        // sparse sampling the flow may simply not have been sampled since.
+        f.app.flowdb.touch(&k, SimTime::from_secs(10));
+        let mut cmds = Vec::new();
+        for t in [48_000u64, 48_010, 50_020, 50_030] {
+            cmds.extend(f.app.tick(SimTime::from_millis(t), &f.topo));
+        }
+        assert_eq!(f.app.stats().withdrawals, 1);
+        cmds.extend(f.app.tick(SimTime::from_millis(51_000), &f.topo));
+        cmds.iter()
+            .filter(|c| {
+                matches!(
+                    &c.msg,
+                    ControllerToSwitch::FlowMod {
+                        command: FlowModCommand::Add(e),
+                        ..
+                    } if e.priority == PIN_RULE_PRIORITY
+                )
+            })
+            .count()
+    }
+
+    #[test]
+    fn sparse_sampling_stretches_withdrawal_liveness_horizon() {
+        use crate::config::TelemetryConfig;
+        // ~40 s since the last sighting. Exhaustive polling would have
+        // observed a live flow every second, so 40 s of silence means
+        // dead: no pin. At rate 1/64 a live-but-slow flow is only
+        // *observed* every ~64 polls — the horizon stretches to 128 s and
+        // the flow must still be pinned, not spuriously expired.
+        assert_eq!(pins_after_late_withdrawal(TelemetryConfig::Exhaustive), 0);
+        assert_eq!(
+            pins_after_late_withdrawal(TelemetryConfig::Sampled { rate: 1.0 / 64.0 }),
+            1,
+            "sparsely-sampled live overlay flow was spuriously expired"
         );
     }
 

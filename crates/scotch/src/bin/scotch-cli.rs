@@ -25,6 +25,9 @@
 //!
 //! Control:
 //!   --baseline          plain reactive controller (no Scotch)
+//!   --sampling-rate <P> sampled flow telemetry at per-packet probability
+//!                       P in (0, 1]; 1.0 reproduces exhaustive reports
+//!                       byte-for-byte (default: exhaustive polling)
 //!   --seed <N>          RNG seed                        (default: 1)
 //!   --duration <SECS>   simulated seconds               (default: 10)
 //!   --json              machine-readable summary on stdout
@@ -48,6 +51,12 @@
 //!   --clients <RATE>    client rate for every job         (default: 100)
 //!   --threads <N>       worker threads                    (default: cores)
 //!   --out <DIR>         manifest directory                (default: results)
+//!   --sampling-rate <P> run every job with sampled telemetry at rate P
+//!   --sampling-ablation replace the grid with the sampled-telemetry
+//!                       ablation: exhaustive + rates {1, 1/4, 1/16, 1/64,
+//!                       1/256} x seeds on the elephant/DDoS datacenter
+//!                       scenario; KPIs cover migration-decision latency
+//!                       and monitor load (the DESIGN.md §13 figure data)
 //!   --quiet             suppress per-job progress lines
 //! ```
 //!
@@ -78,6 +87,8 @@
 //!                       to N shards, and add the `multirack_sharded`
 //!                       fabric (wide lookahead, per-rack sources) to the
 //!                       measured set
+//!   --sampling-rate <P> rate for the `monitor_sampled_smoke` scenario
+//!                       (default: 1/64; the exhaustive twin always runs)
 //!   --gate              exit 1 when any scenario regresses more than 10%
 //!                       vs the baseline (soft perf gate; without this
 //!                       flag regressions only warn)
@@ -113,7 +124,9 @@
 //!
 //! `determinism` runs each matrix scenario sequentially, then at every
 //! requested shard count, and byte-compares the canonical reports; any
-//! divergence exits 1.
+//! divergence exits 1. The matrix includes a sampled-telemetry case
+//! (rate 1/64), and one extra cell checks that `sampled { rate: 1.0 }`
+//! reproduces the exhaustive report byte-for-byte.
 //!
 //! `sweep` fans each `(scenario, seed)` pair out on the work-stealing
 //! runner, prints one progress line per finished job, and writes a
@@ -141,6 +154,7 @@ struct Options {
     elephants: Option<(usize, f64, u32)>,
     link_loss: f64,
     baseline: bool,
+    sampling_rate: Option<f64>,
     seed: u64,
     duration: f64,
     json: bool,
@@ -166,6 +180,7 @@ impl Default for Options {
             elephants: None,
             link_loss: 0.0,
             baseline: false,
+            sampling_rate: None,
             seed: 1,
             duration: 10.0,
             json: false,
@@ -236,6 +251,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .map_err(|e| format!("--link-loss: {e}"))?
             }
             "--baseline" => o.baseline = true,
+            "--sampling-rate" => {
+                o.sampling_rate = Some(parse_sampling_rate(&next(&mut i)?)?);
+            }
             "--seed" => o.seed = next(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?,
             "--duration" => {
                 o.duration = next(&mut i)?
@@ -286,6 +304,16 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     Ok(o)
 }
 
+/// Parse and range-check a `--sampling-rate` value (shared by the run,
+/// sweep, and bench front ends).
+fn parse_sampling_rate(text: &str) -> Result<f64, String> {
+    let rate: f64 = text.parse().map_err(|e| format!("--sampling-rate: {e}"))?;
+    if !(rate > 0.0 && rate <= 1.0) {
+        return Err(format!("--sampling-rate must be in (0, 1], got {rate}"));
+    }
+    Ok(rate)
+}
+
 fn build_scenario(o: &Options) -> Scenario {
     let mut s = match o.scenario.as_str() {
         "single" => Scenario::single_switch(scotch_switch::SwitchProfile::pica8_pronto_3780()),
@@ -323,6 +351,9 @@ fn build_scenario(o: &Options) -> Scenario {
     }
     if let Some(rate) = o.rack_clients {
         s = s.with_rack_clients(rate);
+    }
+    if let Some(rate) = o.sampling_rate {
+        s = s.with_sampling_rate(rate);
     }
     if o.baseline {
         s = s.with_mode(ControllerMode::Baseline);
@@ -511,6 +542,8 @@ struct SweepOptions {
     clients: f64,
     threads: usize,
     out: String,
+    sampling_rate: Option<f64>,
+    sampling_ablation: bool,
     quiet: bool,
 }
 
@@ -526,6 +559,8 @@ impl Default for SweepOptions {
             clients: 100.0,
             threads: 0,
             out: "results".into(),
+            sampling_rate: None,
+            sampling_ablation: false,
             quiet: false,
         }
     }
@@ -576,6 +611,10 @@ fn parse_sweep_args(args: &[String]) -> Result<SweepOptions, String> {
                     .map_err(|e| format!("--threads: {e}"))?
             }
             "--out" => o.out = next(&mut i)?,
+            "--sampling-rate" => {
+                o.sampling_rate = Some(parse_sampling_rate(&next(&mut i)?)?);
+            }
+            "--sampling-ablation" => o.sampling_ablation = true,
             "--quiet" => o.quiet = true,
             "--help" | "-h" => return Err("help".into()),
             other => return Err(format!("unknown sweep option {other}")),
@@ -610,6 +649,7 @@ fn sweep_jobs(o: &SweepOptions) -> Vec<scotch_runner::Job<()>> {
                 racks: 2,
                 attack: Some(o.attack),
                 clients: o.clients,
+                sampling_rate: o.sampling_rate,
                 seed,
                 duration: o.duration,
                 ..Options::default()
@@ -648,6 +688,71 @@ fn sweep_jobs(o: &SweepOptions) -> Vec<scotch_runner::Job<()>> {
     jobs
 }
 
+/// The rate ladder the sampled-telemetry ablation measures (besides the
+/// exhaustive-polling reference).
+const ABLATION_RATES: [f64; 5] = [1.0, 1.0 / 4.0, 1.0 / 16.0, 1.0 / 64.0, 1.0 / 256.0];
+
+/// Build the `--sampling-ablation` job grid: exhaustive plus every rate in
+/// [`ABLATION_RATES`], each across the seed range, on the elephant/DDoS
+/// datacenter scenario. The manifest's KPI columns are the DESIGN.md §13
+/// figure data — sampling rate vs migration-decision latency vs monitor
+/// load vs estimate error.
+fn ablation_jobs(o: &SweepOptions) -> Vec<scotch_runner::Job<()>> {
+    let mut modes: Vec<(String, Option<f64>)> = vec![("exhaustive".into(), None)];
+    modes.extend(
+        ABLATION_RATES
+            .iter()
+            .map(|&r| (format!("r{}", (1.0 / r).round() as u64), Some(r))),
+    );
+    let horizon = SimTime::from_secs_f64(o.duration);
+    let mut jobs = Vec::new();
+    for (label, rate) in modes {
+        for k in 0..o.seeds {
+            let seed = o.seed_base + k;
+            let attack = o.attack;
+            let clients = o.clients;
+            jobs.push(scotch_runner::Job::new(
+                format!("ablation/{label}/s{seed}"),
+                seed,
+                move |ctx: &mut scotch_runner::JobCtx| {
+                    let mut s = Scenario::overlay_datacenter(4)
+                        .with_clients(clients)
+                        .with_attack(attack)
+                        .with_elephants(4, 1_000.0, 50_000, SimTime::from_secs(1));
+                    if let Some(rate) = rate {
+                        s = s.with_sampling_rate(rate);
+                    }
+                    let report = s.run(horizon, seed);
+                    ctx.add_units(report.events_processed);
+                    ctx.kpi("sampling_rate", rate.unwrap_or(1.0));
+                    ctx.kpi("elephant_decisions", report.app.elephant_decisions as f64);
+                    // Mean flow age at flag time — how long an elephant ran
+                    // before the monitor noticed it.
+                    ctx.kpi(
+                        "decision_latency_ms",
+                        report.app.decision_latency_ns as f64
+                            / report.app.elephant_decisions.max(1) as f64
+                            / 1e6,
+                    );
+                    ctx.kpi("migrations", report.app.migrations as f64);
+                    let metric = |name: &str| report.metrics.get(name).unwrap_or(0.0);
+                    ctx.kpi("stats_msgs", metric("monitor.stats_msgs"));
+                    ctx.kpi("sampled_records", metric("monitor.sampled_records"));
+                    ctx.kpi("est_error_ppm", metric("monitor.est_error.last"));
+                    ctx.metrics_snapshot(
+                        report
+                            .metrics
+                            .entries
+                            .iter()
+                            .map(|(name, value)| (name.as_str(), *value)),
+                    );
+                },
+            ));
+        }
+    }
+    jobs
+}
+
 fn sweep_main(args: &[String]) -> i32 {
     let opts = match parse_sweep_args(args) {
         Ok(o) => o,
@@ -660,14 +765,33 @@ fn sweep_main(args: &[String]) -> i32 {
             return if e == "help" { 0 } else { 2 };
         }
     };
-    let name = if opts.smoke { "sweep-smoke" } else { "sweep" };
-    let jobs = sweep_jobs(&opts);
-    eprintln!(
-        "sweep '{name}': {} job(s), {} scenario(s) x {} seed(s)",
-        jobs.len(),
-        if opts.scenario.is_some() { 1 } else { 3 },
-        opts.seeds
-    );
+    let name = if opts.sampling_ablation {
+        "sweep-sampling-ablation"
+    } else if opts.smoke {
+        "sweep-smoke"
+    } else {
+        "sweep"
+    };
+    let jobs = if opts.sampling_ablation {
+        ablation_jobs(&opts)
+    } else {
+        sweep_jobs(&opts)
+    };
+    if opts.sampling_ablation {
+        eprintln!(
+            "sweep '{name}': {} job(s), {} telemetry mode(s) x {} seed(s)",
+            jobs.len(),
+            ABLATION_RATES.len() + 1,
+            opts.seeds
+        );
+    } else {
+        eprintln!(
+            "sweep '{name}': {} job(s), {} scenario(s) x {} seed(s)",
+            jobs.len(),
+            if opts.scenario.is_some() { 1 } else { 3 },
+            opts.seeds
+        );
+    }
     let sweep = scotch_runner::SweepRunner::new()
         .threads(opts.threads)
         .progress(!opts.quiet)
@@ -705,6 +829,7 @@ struct BenchOptions {
     profile: bool,
     trace_overhead: bool,
     shards: usize,
+    sampling_rate: f64,
     gate: bool,
     quiet: bool,
 }
@@ -719,6 +844,7 @@ impl Default for BenchOptions {
             profile: false,
             trace_overhead: false,
             shards: 1,
+            sampling_rate: 1.0 / 64.0,
             gate: false,
             quiet: false,
         }
@@ -750,6 +876,7 @@ fn parse_bench_args(args: &[String]) -> Result<BenchOptions, String> {
                     return Err("--shards must be at least 1".into());
                 }
             }
+            "--sampling-rate" => o.sampling_rate = parse_sampling_rate(&next(&mut i)?)?,
             "--gate" => o.gate = true,
             "--quiet" => o.quiet = true,
             "--help" | "-h" => return Err("help".into()),
@@ -768,11 +895,30 @@ fn parse_bench_args(args: &[String]) -> Result<BenchOptions, String> {
 /// crate).
 const HOTPATH_SEED: u64 = 20141202;
 
+/// The monitor-heavy bench shape: a dense 25 ms stats poll over an overlay
+/// fabric whose flow tables keep growing under flood, so every exhaustive
+/// poll walks and ships thousands of flow records and telemetry dominates
+/// the run. Measured in both telemetry modes — the pair is the DESIGN.md
+/// §13 headline comparison.
+fn monitor_bench_scenario() -> Scenario {
+    Scenario::overlay_datacenter(4)
+        .with_config(scotch::ScotchConfig {
+            stats_poll_interval: SimDuration::from_millis(25),
+            ..scotch::ScotchConfig::default()
+        })
+        .with_clients(100.0)
+        .with_attack(6_000.0)
+        .with_elephants(4, 800.0, 50_000, SimTime::from_secs(1))
+}
+
 /// The fixed `(scenario, seed)` set the hot-path bench measures. Factories
 /// because [`Scenario`] is single-use; each returns `(name, builder,
-/// horizon)`.
+/// horizon)`. `sampling_rate` only affects the `monitor_sampled_smoke`
+/// row — every other scenario keeps exhaustive telemetry.
 #[allow(clippy::type_complexity)]
-fn hotpath_scenarios() -> Vec<(&'static str, Box<dyn Fn() -> Scenario>, SimTime)> {
+fn hotpath_scenarios(
+    sampling_rate: f64,
+) -> Vec<(&'static str, Box<dyn Fn() -> Scenario>, SimTime)> {
     vec![
         (
             // The paper's Fig. 3 regime: spoofed-source DDoS against one
@@ -807,6 +953,20 @@ fn hotpath_scenarios() -> Vec<(&'static str, Box<dyn Fn() -> Scenario>, SimTime)
             }),
             SimTime::from_secs(5),
         ),
+        (
+            // Telemetry worst case, exhaustive polling: the reference
+            // side of the sampled-vs-exhaustive monitor comparison.
+            "monitor_exhaustive_smoke",
+            Box::new(monitor_bench_scenario),
+            SimTime::from_secs(4),
+        ),
+        (
+            // Same fabric and workload with sampled telemetry — the
+            // monitor ingests only flows the sampler actually saw.
+            "monitor_sampled_smoke",
+            Box::new(move || monitor_bench_scenario().with_sampling_rate(sampling_rate)),
+            SimTime::from_secs(4),
+        ),
     ]
 }
 
@@ -837,9 +997,9 @@ struct BenchResult {
     events_per_sec: f64,
 }
 
-fn run_hotpath(iters: u32, quiet: bool, shards: usize) -> Vec<BenchResult> {
+fn run_hotpath(iters: u32, quiet: bool, shards: usize, sampling_rate: f64) -> Vec<BenchResult> {
     let mut results = Vec::new();
-    let mut scenarios = hotpath_scenarios();
+    let mut scenarios = hotpath_scenarios(sampling_rate);
     if shards > 1 {
         scenarios.push(sharded_bench_scenario());
     }
@@ -948,7 +1108,7 @@ fn bench_main(args: &[String]) -> i32 {
         }
     };
 
-    let results = run_hotpath(opts.iters, opts.quiet, opts.shards);
+    let results = run_hotpath(opts.iters, opts.quiet, opts.shards, opts.sampling_rate);
     let doc = scotch_runner::Json::obj()
         .set("bench", "hotpath")
         .set(
@@ -998,7 +1158,7 @@ fn bench_main(args: &[String]) -> i32 {
 
     if opts.profile {
         eprintln!("dispatch-cost profile (wall clock; observability-only, never golden):");
-        for (name, make, horizon) in hotpath_scenarios() {
+        for (name, make, horizon) in hotpath_scenarios(opts.sampling_rate) {
             let mut sim = make().build_until(HOTPATH_SEED, horizon);
             sim.enable_profiling();
             let report = sim.run(horizon);
@@ -1024,7 +1184,7 @@ fn bench_main(args: &[String]) -> i32 {
     if opts.trace_overhead {
         eprintln!("tracing overhead (disabled vs enabled at the default level):");
         let mut worst: f64 = 0.0;
-        for (name, make, horizon) in hotpath_scenarios() {
+        for (name, make, horizon) in hotpath_scenarios(opts.sampling_rate) {
             let off = best_wall(&*make, horizon, opts.iters, false);
             let on = best_wall(&*make, horizon, opts.iters, true);
             let pct = (on / off.max(1e-9) - 1.0) * 100.0;
@@ -1435,6 +1595,12 @@ fn determinism_cases(
         ),
         ("multirack_parallel", Box::new(parallel)),
         (
+            // Sampled telemetry must be shard-count invariant too: the
+            // sampler streams are keyed by (seed, node), not by shard.
+            "multirack_sampled",
+            Box::new(move || parallel().with_sampling_rate(1.0 / 64.0)),
+        ),
+        (
             "multirack_chaos",
             Box::new(move || parallel().with_fault_plan(plan.clone())),
         ),
@@ -1496,6 +1662,27 @@ fn determinism_main(args: &[String]) -> i32 {
                 eprintln!("determinism: {name} --shards {k}: DIVERGED");
             }
         }
+    }
+
+    // The telemetry degeneration contract (DESIGN.md §13): sampled
+    // telemetry at rate 1.0 must reproduce the exhaustive-mode canonical
+    // report byte-for-byte on the golden overlay shape.
+    let overlay = || {
+        Scenario::overlay_datacenter(4)
+            .with_servers(2)
+            .with_clients(100.0)
+            .with_attack(2_000.0)
+    };
+    let exhaustive = overlay().run(horizon, DETERMINISM_SEED).canonical_json();
+    let rate_one = overlay()
+        .with_sampling_rate(1.0)
+        .run(horizon, DETERMINISM_SEED)
+        .canonical_json();
+    if rate_one == exhaustive {
+        println!("determinism: overlay_ddos sampled-rate-1.0 == exhaustive: ok");
+    } else {
+        diverged += 1;
+        eprintln!("determinism: overlay_ddos sampled-rate-1.0 == exhaustive: DIVERGED");
     }
     if diverged > 0 {
         eprintln!("error: {diverged} matrix cell(s) diverged from the sequential report");
@@ -1788,6 +1975,47 @@ mod tests {
     }
 
     #[test]
+    fn sampling_rate_flags_parse() {
+        // Run front end: optional, defaults to exhaustive.
+        assert_eq!(parse("").unwrap().sampling_rate, None);
+        let o = parse("--sampling-rate 0.015625").unwrap();
+        assert_eq!(o.sampling_rate, Some(0.015625));
+        assert!(parse("--sampling-rate 0").is_err());
+        assert!(parse("--sampling-rate 1.5").is_err());
+        assert!(parse("--sampling-rate -0.1").is_err());
+        assert!(parse("--sampling-rate").is_err());
+        // Bench front end: defaults to 1/64, only shapes the sampled row.
+        assert_eq!(parse_bench("").unwrap().sampling_rate, 1.0 / 64.0);
+        assert_eq!(
+            parse_bench("--sampling-rate 0.25").unwrap().sampling_rate,
+            0.25
+        );
+        assert!(parse_bench("--sampling-rate 2").is_err());
+        // Sweep front end: per-job override plus the ablation preset.
+        let s = parse_sweep("--sampling-rate 0.5").unwrap();
+        assert_eq!(s.sampling_rate, Some(0.5));
+        assert!(!s.sampling_ablation);
+        assert!(
+            parse_sweep("--sampling-ablation")
+                .unwrap()
+                .sampling_ablation
+        );
+        assert!(parse_sweep("--sampling-rate 0").is_err());
+    }
+
+    #[test]
+    fn ablation_grid_covers_every_mode_and_seed() {
+        let o = parse_sweep("--sampling-ablation --seeds 2 --seed-base 5").unwrap();
+        let jobs = ablation_jobs(&o);
+        // exhaustive + 5 rates, 2 seeds each.
+        assert_eq!(jobs.len(), (ABLATION_RATES.len() + 1) * 2);
+        assert_eq!(jobs[0].id, "ablation/exhaustive/s5");
+        assert_eq!(jobs[1].id, "ablation/exhaustive/s6");
+        assert_eq!(jobs[2].id, "ablation/r1/s5");
+        assert_eq!(jobs.last().unwrap().id, "ablation/r256/s6");
+    }
+
+    #[test]
     fn determinism_cases_build() {
         let plan = scotch::chaos::generate_plan(1, SimDuration::from_secs(2), 4);
         for (name, make) in determinism_cases(plan) {
@@ -1861,11 +2089,16 @@ mod tests {
 
     #[test]
     fn bench_scenarios_build() {
-        for (name, make, horizon) in hotpath_scenarios() {
+        let scenarios = hotpath_scenarios(1.0 / 64.0);
+        for (name, make, horizon) in &scenarios {
             assert!(!name.is_empty());
-            assert!(horizon > SimTime::ZERO);
+            assert!(*horizon > SimTime::ZERO);
             let _sim = make().build(HOTPATH_SEED);
         }
+        // The monitor pair is present: exhaustive reference + sampled twin.
+        let names: Vec<_> = scenarios.iter().map(|(n, _, _)| *n).collect();
+        assert!(names.contains(&"monitor_exhaustive_smoke"));
+        assert!(names.contains(&"monitor_sampled_smoke"));
     }
 
     #[test]

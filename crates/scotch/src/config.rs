@@ -28,6 +28,74 @@ pub enum FairnessPolicy {
     None,
 }
 
+/// How the monitor learns per-flow counters from the mesh vSwitches
+/// (§5.3, plus the NetFlow-style sampling extension — see DESIGN.md §13).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TelemetryConfig {
+    /// Every stats poll returns the full per-flow table (the paper's
+    /// design). Accurate, but at millions of flows the monitor drowns in
+    /// records.
+    Exhaustive,
+    /// Each vSwitch samples forwarded packets with probability `rate`
+    /// from a dedicated per-vSwitch RNG stream (geometric skip counter,
+    /// so the per-packet cost is one decrement) and exports only flows
+    /// with sampled traffic; the monitor scales counts by `1/rate`
+    /// (Horvitz–Thompson estimation). `rate: 1.0` samples every packet
+    /// and exports every installed flow, reproducing exhaustive-mode
+    /// canonical reports byte-for-byte.
+    Sampled {
+        /// Per-packet sampling probability in `(0, 1]`.
+        rate: f64,
+    },
+}
+
+impl TelemetryConfig {
+    /// The sampling rate, or `None` in exhaustive mode.
+    pub fn sampling_rate(&self) -> Option<f64> {
+        match self {
+            TelemetryConfig::Exhaustive => None,
+            TelemetryConfig::Sampled { rate } => Some(*rate),
+        }
+    }
+
+    /// The inverse-probability factor the monitor multiplies sampled
+    /// counts by. Exactly 1.0 in exhaustive mode and at `rate: 1.0`.
+    pub fn scale(&self) -> f64 {
+        match self {
+            TelemetryConfig::Exhaustive => 1.0,
+            TelemetryConfig::Sampled { rate } => 1.0 / rate,
+        }
+    }
+
+    /// How long an overlay flow stays "live" after its last observed
+    /// activity before withdrawal may tear it down. Exhaustive polling
+    /// observes every flow every poll, so two poll intervals (plus a
+    /// nanosecond so an exactly-on-time reply still counts) suffice.
+    /// Under sampling a flow is only *observed* when one of its packets
+    /// is sampled — roughly every `1/rate` polls for a slow flow — so
+    /// the horizon stretches by `ceil(1/rate)`. At `rate: 1.0` the
+    /// factor is 1 and this reproduces the exhaustive horizon exactly.
+    pub fn live_horizon(&self, poll: SimDuration) -> SimDuration {
+        let base = poll.0 * 2 + 1;
+        match self {
+            TelemetryConfig::Exhaustive => SimDuration(base),
+            TelemetryConfig::Sampled { rate } => {
+                SimDuration(base.saturating_mul((1.0 / rate).ceil() as u64))
+            }
+        }
+    }
+
+    /// Panic on nonsensical rates (programmer error, not runtime input).
+    pub fn validate(&self) {
+        if let TelemetryConfig::Sampled { rate } = self {
+            assert!(
+                *rate > 0.0 && *rate <= 1.0,
+                "sampling rate must be in (0, 1], got {rate}"
+            );
+        }
+    }
+}
+
 /// All Scotch tunables, with paper-calibrated defaults.
 #[derive(Debug, Clone)]
 pub struct ScotchConfig {
@@ -89,6 +157,10 @@ pub struct ScotchConfig {
     /// (§2) — i.e. the controller is never the bottleneck. Setting it
     /// exposes what happens when it is.
     pub controller_capacity: Option<f64>,
+    /// Flow-telemetry mode for the §5.3 monitor: exhaustive per-flow
+    /// stats polling (the paper's design) or sampled measurement with
+    /// inverse-probability scaling.
+    pub telemetry: TelemetryConfig,
     /// Match per-flow rules on the full 5-tuple (microflow rules, original
     /// Ethane/NOX style) instead of the paper's (source IP, destination
     /// IP) pair (§3.2). Microflow granularity makes *every* flow between a
@@ -118,6 +190,7 @@ impl Default for ScotchConfig {
             install_reverse: false,
             tcam_activation_threshold: 10.0,
             controller_capacity: None,
+            telemetry: TelemetryConfig::Exhaustive,
             exact_match_rules: false,
         }
     }
@@ -148,6 +221,7 @@ impl ScotchConfig {
         );
         assert!(self.tick_interval > SimDuration::ZERO);
         assert!(self.stats_poll_interval > SimDuration::ZERO);
+        self.telemetry.validate();
     }
 }
 
@@ -171,6 +245,46 @@ mod tests {
         assert!(c.migration_enabled);
         assert!(c.ingress_differentiation);
         assert_eq!(c.rule_idle_timeout, SimDuration::from_secs(10));
+    }
+
+    #[test]
+    fn telemetry_scale_is_exact_at_rate_one() {
+        let t = TelemetryConfig::Sampled { rate: 1.0 };
+        assert_eq!(t.scale(), 1.0);
+        assert_eq!(t.sampling_rate(), Some(1.0));
+        assert_eq!(TelemetryConfig::Exhaustive.scale(), 1.0);
+        assert_eq!(TelemetryConfig::Exhaustive.sampling_rate(), None);
+    }
+
+    #[test]
+    fn live_horizon_scales_with_inverse_rate() {
+        let poll = SimDuration::from_secs(1);
+        let base = TelemetryConfig::Exhaustive.live_horizon(poll);
+        assert_eq!(base, SimDuration(poll.0 * 2 + 1));
+        // rate: 1.0 must reproduce the exhaustive horizon exactly.
+        assert_eq!(
+            TelemetryConfig::Sampled { rate: 1.0 }.live_horizon(poll),
+            base
+        );
+        // rate 1/64 → a slow flow is observed every ~64 polls.
+        let sparse = TelemetryConfig::Sampled { rate: 1.0 / 64.0 }.live_horizon(poll);
+        assert_eq!(sparse, SimDuration(base.0 * 64));
+    }
+
+    #[test]
+    #[should_panic(expected = "sampling rate")]
+    fn zero_sampling_rate_panics() {
+        let c = ScotchConfig {
+            telemetry: TelemetryConfig::Sampled { rate: 0.0 },
+            ..Default::default()
+        };
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "sampling rate")]
+    fn oversized_sampling_rate_panics() {
+        TelemetryConfig::Sampled { rate: 1.5 }.validate();
     }
 
     #[test]

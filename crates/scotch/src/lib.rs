@@ -66,10 +66,11 @@ pub mod report;
 pub mod scenario;
 mod shard;
 pub mod sim;
+pub mod telemetry;
 
 pub use app::ScotchApp;
 pub use chaos::{ChaosConfig, ChaosOutcome, Violation};
-pub use config::ScotchConfig;
+pub use config::{ScotchConfig, TelemetryConfig};
 pub use overlay::OverlayManager;
 pub use report::Report;
 pub use scenario::Scenario;

@@ -5,21 +5,25 @@
 //! identifier selects the flows with high packet counts, and puts the large
 //! flow migration requests into the large flow migration queue."
 //!
-//! Detection is rate-based: a flow whose packet count grew by more than
-//! `elephant_pps × poll_interval` since the previous poll is an elephant.
+//! Detection is rate-based and consumes the monitor's estimated-rate
+//! stream ([`crate::telemetry::TelemetryCache`]): a flow whose *estimated*
+//! rate — delta between sightings, or lifetime rate on first sighting —
+//! reaches `elephant_pps` is an elephant. Under sampled telemetry the
+//! estimates are inverse-probability-scaled sampled counts, so the same
+//! threshold applies unchanged at any sampling rate; in exhaustive mode
+//! the estimates are exact and the decisions are bit-identical to the
+//! original count-based detector.
 
-use scotch_net::{FlowKey, NodeId};
-use scotch_openflow::messages::FlowStat;
+use crate::telemetry::FlowEstimate;
+use scotch_net::FlowKey;
 use scotch_sim::{SimDuration, SimTime};
 use std::collections::HashMap;
 
-/// Detects elephants from successive FlowStats snapshots.
+/// Flags elephants from the monitor's [`FlowEstimate`] stream.
 #[derive(Debug, Clone)]
 pub struct ElephantDetector {
-    /// Packets/second above which a flow is an elephant.
+    /// Estimated packets/second above which a flow is an elephant.
     pub threshold_pps: f64,
-    /// Last seen cumulative packet count per (vSwitch, cookie).
-    last_counts: HashMap<(NodeId, u64), (SimTime, u64)>,
     /// Flows already flagged (do not flag twice).
     flagged: HashMap<FlowKey, SimTime>,
 }
@@ -30,60 +34,19 @@ impl ElephantDetector {
         assert!(threshold_pps > 0.0);
         ElephantDetector {
             threshold_pps,
-            last_counts: HashMap::new(),
             flagged: HashMap::new(),
         }
     }
 
-    /// Ingest a FlowStatsReply from vSwitch `from`; returns
-    /// `(newly detected elephants, keys with recent activity)`. `key_of`
-    /// recovers the flow key from a stat record's matcher (installed
-    /// vSwitch rules match on src/dst, so the key is embedded in the
-    /// match). The activity list feeds withdrawal's liveness filter
-    /// (§5.5).
-    pub fn ingest(
-        &mut self,
-        now: SimTime,
-        from: NodeId,
-        stats: &[FlowStat],
-        key_of: impl Fn(&FlowStat) -> Option<FlowKey>,
-    ) -> (Vec<FlowKey>, Vec<FlowKey>) {
-        let mut elephants = Vec::new();
-        let mut active = Vec::new();
-        for st in stats {
-            let Some(key) = key_of(st) else { continue };
-            let slot = (from, st.cookie);
-            let (prev_t, prev_n) = self
-                .last_counts
-                .insert(slot, (now, st.packet_count))
-                .unwrap_or((now, 0));
-            let dt = now.duration_since(prev_t).as_secs_f64();
-            if st.packet_count > prev_n || (dt <= 0.0 && st.packet_count > 0) {
-                active.push(key);
-            }
-            if dt <= 0.0 {
-                // First sighting within this poll round: judge by total
-                // count over the entry's lifetime — but only once the
-                // entry has lived long enough for a meaningful rate (a
-                // just-installed rule with one packet is not a 1000 pps
-                // elephant).
-                let life = st.duration.as_secs_f64();
-                if life >= 0.5
-                    && st.packet_count as f64 / life >= self.threshold_pps
-                    && !self.flagged.contains_key(&key)
-                {
-                    self.flagged.insert(key, now);
-                    elephants.push(key);
-                }
-                continue;
-            }
-            let pps = st.packet_count.saturating_sub(prev_n) as f64 / dt;
-            if pps >= self.threshold_pps && !self.flagged.contains_key(&key) {
-                self.flagged.insert(key, now);
-                elephants.push(key);
-            }
+    /// Judge one estimate; `true` means the flow is a *newly* flagged
+    /// elephant (the caller queues the migration).
+    pub fn observe(&mut self, now: SimTime, est: &FlowEstimate) -> bool {
+        if est.pps >= self.threshold_pps && !self.flagged.contains_key(&est.key) {
+            self.flagged.insert(est.key, now);
+            true
+        } else {
+            false
         }
-        (elephants, active)
     }
 
     /// Forget flows flagged more than `ttl` ago (their rules have expired;
@@ -101,7 +64,9 @@ impl ElephantDetector {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use scotch_net::IpAddr;
+    use crate::telemetry::TelemetryCache;
+    use scotch_net::{IpAddr, NodeId};
+    use scotch_openflow::messages::FlowStat;
     use scotch_openflow::{Match, TableId};
 
     fn key(sport: u16) -> FlowKey {
@@ -123,31 +88,55 @@ mod tests {
         Some(key(st.cookie as u16))
     }
 
+    /// Run one poll round through cache + detector, as the app does.
+    fn poll(
+        cache: &mut TelemetryCache,
+        det: &mut ElephantDetector,
+        now: SimTime,
+        from: NodeId,
+        stats: &[FlowStat],
+        scale: f64,
+    ) -> Vec<FlowKey> {
+        cache
+            .ingest(now, from, stats, scale, key_of_cookie)
+            .iter()
+            .filter(|e| det.observe(now, e))
+            .map(|e| e.key)
+            .collect()
+    }
+
     #[test]
     fn steady_elephant_is_detected_on_second_poll() {
+        let mut c = TelemetryCache::new();
         let mut d = ElephantDetector::new(300.0);
         // Poll 1: entry just installed, 100 pkts over 1 s of life — mouse.
-        let (e1, _) = d.ingest(
+        let e1 = poll(
+            &mut c,
+            &mut d,
             SimTime::from_secs(1),
             NodeId(5),
             &[stat(1, 100, 1)],
-            key_of_cookie,
+            1.0,
         );
         assert!(e1.is_empty());
         // Poll 2: +500 pkts in 1 s -> 500 pps elephant.
-        let (e2, _) = d.ingest(
+        let e2 = poll(
+            &mut c,
+            &mut d,
             SimTime::from_secs(2),
             NodeId(5),
             &[stat(1, 600, 2)],
-            key_of_cookie,
+            1.0,
         );
         assert_eq!(e2, vec![key(1)]);
         // Poll 3: still fast, but already flagged.
-        let (e3, _) = d.ingest(
+        let e3 = poll(
+            &mut c,
+            &mut d,
             SimTime::from_secs(3),
             NodeId(5),
             &[stat(1, 1200, 3)],
-            key_of_cookie,
+            1.0,
         );
         assert!(e3.is_empty());
         assert_eq!(d.flagged_count(), 1);
@@ -155,88 +144,96 @@ mod tests {
 
     #[test]
     fn first_sighting_with_high_lifetime_rate_flags_immediately() {
+        let mut c = TelemetryCache::new();
         let mut d = ElephantDetector::new(300.0);
         // 2000 pkts over a 2 s lifetime = 1000 pps on first sighting.
-        let (e, _) = d.ingest(
+        let e = poll(
+            &mut c,
+            &mut d,
             SimTime::from_secs(5),
             NodeId(5),
             &[stat(2, 2000, 2)],
-            key_of_cookie,
+            1.0,
         );
         assert_eq!(e, vec![key(2)]);
     }
 
     #[test]
-    fn mice_are_never_flagged() {
+    fn sampled_estimates_cross_the_same_threshold() {
+        let mut c = TelemetryCache::new();
         let mut d = ElephantDetector::new(300.0);
-        for poll in 1..10u64 {
-            let (e, _) = d.ingest(
-                SimTime::from_secs(poll),
+        // At rate 1/64 the vSwitch exports *sampled* counts; 16 sampled
+        // pkts over a 2 s lifetime estimate to 16·64/2 = 512 pps.
+        let e = poll(
+            &mut c,
+            &mut d,
+            SimTime::from_secs(5),
+            NodeId(5),
+            &[stat(2, 16, 2)],
+            64.0,
+        );
+        assert_eq!(e, vec![key(2)]);
+        // A mouse with 1 sampled packet estimates to 64/2 = 32 pps.
+        let m = poll(
+            &mut c,
+            &mut d,
+            SimTime::from_secs(5),
+            NodeId(5),
+            &[stat(3, 1, 2)],
+            64.0,
+        );
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn mice_are_never_flagged() {
+        let mut c = TelemetryCache::new();
+        let mut d = ElephantDetector::new(300.0);
+        for round in 1..10u64 {
+            let e = poll(
+                &mut c,
+                &mut d,
+                SimTime::from_secs(round),
                 NodeId(5),
-                &[stat(3, poll * 10, poll)], // 10 pps
-                key_of_cookie,
+                &[stat(3, round * 10, round)], // 10 pps
+                1.0,
             );
-            assert!(e.is_empty(), "poll {poll} flagged a mouse");
+            assert!(e.is_empty(), "poll {round} flagged a mouse");
         }
     }
 
     #[test]
-    fn counts_are_tracked_per_vswitch() {
-        let mut d = ElephantDetector::new(300.0);
-        d.ingest(
-            SimTime::from_secs(1),
-            NodeId(5),
-            &[stat(1, 50, 1)],
-            key_of_cookie,
-        );
-        // Same cookie on a different vSwitch: its own baseline (50 pkts
-        // lifetime 1s = mouse), not a 0-delta continuation.
-        let (e, _) = d.ingest(
-            SimTime::from_secs(1),
-            NodeId(6),
-            &[stat(1, 50, 1)],
-            key_of_cookie,
-        );
-        assert!(e.is_empty());
-    }
-
-    #[test]
     fn expiry_allows_reflagging() {
+        let mut c = TelemetryCache::new();
         let mut d = ElephantDetector::new(300.0);
-        d.ingest(
+        poll(
+            &mut c,
+            &mut d,
             SimTime::from_secs(1),
             NodeId(5),
             &[stat(1, 0, 1)],
-            key_of_cookie,
+            1.0,
         );
-        let (e, _) = d.ingest(
+        let e = poll(
+            &mut c,
+            &mut d,
             SimTime::from_secs(2),
             NodeId(5),
             &[stat(1, 1000, 2)],
-            key_of_cookie,
+            1.0,
         );
         assert_eq!(e.len(), 1);
         d.expire(SimTime::from_secs(100), SimDuration::from_secs(30));
         assert_eq!(d.flagged_count(), 0);
-        let (e2, _) = d.ingest(
+        let e2 = poll(
+            &mut c,
+            &mut d,
             SimTime::from_secs(101),
             NodeId(5),
             &[stat(1, 2000, 101)],
-            key_of_cookie,
+            1.0,
         );
         // Delta 1000 pkts over 99 s ≈ 10 pps: not an elephant now.
         assert!(e2.is_empty());
-    }
-
-    #[test]
-    fn unresolvable_keys_are_skipped() {
-        let mut d = ElephantDetector::new(1.0);
-        let (e, _) = d.ingest(
-            SimTime::from_secs(1),
-            NodeId(5),
-            &[stat(1, 10_000, 1)],
-            |_| None,
-        );
-        assert!(e.is_empty());
     }
 }

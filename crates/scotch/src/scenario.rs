@@ -8,7 +8,7 @@
 //!   tunnelled together; optionally a middlebox with policy routing.
 
 use crate::app::{ControllerMode, PolicyChain, ScotchApp};
-use crate::config::ScotchConfig;
+use crate::config::{ScotchConfig, TelemetryConfig};
 use crate::overlay::OverlayManager;
 use crate::report::Report;
 use crate::sim::Simulation;
@@ -269,6 +269,16 @@ impl Scenario {
         self
     }
 
+    /// Builder: sampled flow telemetry at per-packet probability `rate`
+    /// (DESIGN.md §13). Every vSwitch gets a deterministic sampler stream
+    /// forked from the scenario seed, and the monitor scales counts by
+    /// `1/rate`. `rate: 1.0` reproduces exhaustive-mode reports
+    /// byte-for-byte.
+    pub fn with_sampling_rate(mut self, rate: f64) -> Self {
+        self.config.telemetry = TelemetryConfig::Sampled { rate };
+        self
+    }
+
     /// Builder: override the controller mode.
     pub fn with_mode(mut self, mode: ControllerMode) -> Self {
         self.mode = mode;
@@ -471,6 +481,23 @@ impl Scenario {
             .run_sharded(until, shards, threads)
     }
 
+    /// Enable the telemetry sampler on a freshly built vSwitch when the
+    /// config asks for sampled telemetry. The sampler stream is derived
+    /// from `(scenario seed, node id)` with the same golden-ratio mixing
+    /// the chaos engine and shard lanes use: every vSwitch's pick
+    /// sequence is independent of construction order and of which shard
+    /// it lands on, so sampled runs stay bit-identical across shard
+    /// counts.
+    fn telemetered(&self, mut v: VSwitch, seed: u64) -> VSwitch {
+        if let Some(rate) = self.config.telemetry.sampling_rate() {
+            const SAMPLER_STREAM: u64 = 0x7E1E_4E7F_1035;
+            let stream =
+                (seed ^ SAMPLER_STREAM) ^ (v.node.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            v.enable_sampling(rate, SimRng::new(stream));
+        }
+        v
+    }
+
     fn data_link(&self) -> LinkSpec {
         let base = if self.profile.dataplane_pps.is_none() && self.profile.name.contains("Pica8") {
             LinkSpec::tengig()
@@ -524,10 +551,9 @@ impl Scenario {
         }
         let mut sim = Simulation::new(topo, app);
         if dut_is_vswitch {
-            sim.add_vswitch(VSwitch::with_profile(
-                dut,
-                self.profile.clone(),
-                rng.fork(1),
+            sim.add_vswitch(self.telemetered(
+                VSwitch::with_profile(dut, self.profile.clone(), rng.fork(1)),
+                seed,
             ));
         } else {
             sim.add_physical(PhysicalSwitch::new(dut, self.profile.clone(), rng.fork(1)));
@@ -621,13 +647,13 @@ impl Scenario {
         let mut sim = Simulation::new(topo, app);
         sim.add_physical(PhysicalSwitch::new(ps, self.profile.clone(), rng.fork(1)));
         for (i, w) in host_vswitches.iter().enumerate() {
-            sim.add_vswitch(VSwitch::new(*w, rng.fork(100 + i as u64)));
+            sim.add_vswitch(self.telemetered(VSwitch::new(*w, rng.fork(100 + i as u64)), seed));
         }
         for (i, v) in mesh.iter().enumerate() {
-            sim.add_vswitch(VSwitch::new(*v, rng.fork(200 + i as u64)));
+            sim.add_vswitch(self.telemetered(VSwitch::new(*v, rng.fork(200 + i as u64)), seed));
         }
         for (i, b) in backups.iter().enumerate() {
-            sim.add_vswitch(VSwitch::new(*b, rng.fork(300 + i as u64)));
+            sim.add_vswitch(self.telemetered(VSwitch::new(*b, rng.fork(300 + i as u64)), seed));
         }
         if let Some(mb) = mb {
             sim.add_middlebox(mb, Middlebox::Firewall(StatefulFirewall::new()));
@@ -761,10 +787,10 @@ impl Scenario {
             ));
         }
         for (i, w) in host_vswitches.iter().enumerate() {
-            sim.add_vswitch(VSwitch::new(*w, rng.fork(100 + i as u64)));
+            sim.add_vswitch(self.telemetered(VSwitch::new(*w, rng.fork(100 + i as u64)), seed));
         }
         for (i, v) in mesh.iter().enumerate() {
-            sim.add_vswitch(VSwitch::new(*v, rng.fork(200 + i as u64)));
+            sim.add_vswitch(self.telemetered(VSwitch::new(*v, rng.fork(200 + i as u64)), seed));
         }
         sim.add_host(client, Self::client_ip());
         sim.add_host(attacker, Self::attacker_ip());

@@ -1568,6 +1568,11 @@ impl Simulation {
                         now,
                         self.app.overlay.backups.len() as f64,
                     );
+                    self.registry.sample(
+                        "monitor.cache_size",
+                        now,
+                        self.app.telemetry.len() as f64,
+                    );
                 }
                 self.events
                     .push(now + self.sweep_interval, Event::ExpirySweep);
@@ -1725,6 +1730,26 @@ impl Simulation {
                 total,
             );
         }
+        // Monitor (telemetry pipeline) surface: message/record load on the
+        // controller side, plus the estimation-error oracle the sampled
+        // vSwitch export paths accumulate against ground truth.
+        reg.add("monitor.stats_msgs", self.app.telemetry.stats_msgs);
+        reg.add("monitor.sampled_records", self.app.telemetry.records);
+        let (err_sum, err_n) = vswitches.iter().fold((0u64, 0u64), |(s, n), v| {
+            (
+                s + v.dataplane.est_error_ppm,
+                n + v.dataplane.sampled_exported,
+            )
+        });
+        reg.sample(
+            "monitor.est_error",
+            until,
+            if err_n > 0 {
+                err_sum as f64 / err_n as f64
+            } else {
+                0.0
+            },
+        );
         let lat = reg.histogram("flow.latency_ns");
         *reg.histogram_mut(lat) = self.latency.clone();
         reg.add("trace.recorded", self.app.trace.total_recorded());

@@ -17,6 +17,8 @@
 //!   metadata tagging (§5.2).
 //! * [`middlebox`] — stateful firewall and load balancer used by the
 //!   policy-consistency mechanism (§5.4).
+//! * [`sampler::PacketSampler`] — deterministic geometric-skip packet
+//!   sampler backing the NetFlow-style sampled telemetry mode.
 //!
 //! All models are passive state machines: methods take `now` and inputs,
 //! and return [`Output`]s that the composition root (the `scotch` crate)
@@ -26,11 +28,13 @@ pub mod middlebox;
 pub mod ofa;
 pub mod physical;
 pub mod profile;
+pub mod sampler;
 pub mod vswitch;
 
 pub use ofa::Ofa;
 pub use physical::PhysicalSwitch;
 pub use profile::SwitchProfile;
+pub use sampler::PacketSampler;
 pub use vswitch::VSwitch;
 
 use scotch_net::{Packet, PortId};

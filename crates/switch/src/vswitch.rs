@@ -15,6 +15,7 @@
 
 use crate::ofa::Ofa;
 use crate::profile::SwitchProfile;
+use crate::sampler::PacketSampler;
 use crate::{DropReason, Output};
 use scotch_net::{Label, NodeId, Packet, PortId, TunnelId};
 use scotch_openflow::messages::{FlowStat, GroupModCommand, OfError};
@@ -39,6 +40,14 @@ pub struct VSwitchStats {
     /// Controller messages silently absorbed while failed (the conservation
     /// invariant of the chaos harness accounts FlowMods against this).
     pub ctrl_absorbed: u64,
+    /// Flow records exported by the *sampled* telemetry path (zero in
+    /// exhaustive mode).
+    pub sampled_exported: u64,
+    /// Accumulated estimation error of exported sampled records, in parts
+    /// per million of the true packet count — a simulator-side oracle
+    /// comparing `sampled × 1/rate` against the ground-truth counter at
+    /// export time. Divide by `sampled_exported` for the mean.
+    pub est_error_ppm: u64,
 }
 
 impl VSwitchStats {
@@ -53,6 +62,8 @@ impl VSwitchStats {
         reg.add(&format!("{prefix}.dropped_agent"), self.dropped_agent);
         reg.add(&format!("{prefix}.decapsulated"), self.decapsulated);
         reg.add(&format!("{prefix}.ctrl_absorbed"), self.ctrl_absorbed);
+        reg.add(&format!("{prefix}.sampled_exported"), self.sampled_exported);
+        reg.add(&format!("{prefix}.est_error_ppm"), self.est_error_ppm);
     }
 }
 
@@ -77,6 +88,8 @@ pub struct VSwitch {
     action_buf: Vec<Action>,
     /// Reusable scratch for group-selected actions.
     group_buf: Vec<Action>,
+    /// Telemetry sampler (`None` = exhaustive stats export).
+    sampler: Option<PacketSampler>,
 }
 
 impl VSwitch {
@@ -100,7 +113,23 @@ impl VSwitch {
             failed: false,
             action_buf: Vec::new(),
             group_buf: Vec::new(),
+            sampler: None,
         }
+    }
+
+    /// Switch the stats-export path to sampled telemetry: count only
+    /// packets the sampler picks, and export only flows with sampled
+    /// traffic (plus, at `rate ≥ 1.0`, every installed flow — that is
+    /// what makes rate 1.0 reproduce exhaustive replies exactly). `rng`
+    /// must be forked deterministically per vSwitch from the scenario
+    /// seed so replays and sharded runs see the identical pick sequence.
+    pub fn enable_sampling(&mut self, rate: f64, rng: SimRng) {
+        self.sampler = Some(PacketSampler::new(rate, rng));
+    }
+
+    /// The configured sampling rate, if sampled telemetry is enabled.
+    pub fn sampling_rate(&self) -> Option<f64> {
+        self.sampler.as_ref().map(|s| s.rate())
     }
 
     /// The device profile.
@@ -203,8 +232,18 @@ impl VSwitch {
         // table borrow ends before `execute_actions` needs `&mut self`.
         let mut actions = std::mem::take(&mut self.action_buf);
         actions.clear();
-        let matched = match self.table.match_packet(now, &packet, in_port) {
+        let sampler = &mut self.sampler;
+        let matched = match self.table.match_packet_mut(now, &packet, in_port) {
             Some(entry) => {
+                // Telemetry sampling: the sampler advances once per
+                // matched packet; a pick lands on the matched entry's
+                // sampled counters (one predicted branch when disabled).
+                if let Some(s) = sampler.as_mut() {
+                    if s.tick() {
+                        entry.sampled_packets += 1;
+                        entry.sampled_bytes += packet.size as u64;
+                    }
+                }
                 for inst in &entry.instructions {
                     if let scotch_openflow::Instruction::Apply(a) = inst {
                         actions.extend_from_slice(a);
@@ -374,18 +413,53 @@ impl VSwitch {
                 vec![Output::Forward { out_port, packet }]
             }
             ControllerToSwitch::FlowStatsRequest => {
-                let stats: Vec<FlowStat> = self
-                    .table
-                    .iter()
-                    .map(|e| FlowStat {
-                        table: TableId(0),
-                        matcher: e.matcher,
-                        cookie: e.cookie,
-                        packet_count: e.packet_count,
-                        byte_count: e.byte_count,
-                        duration: now.duration_since(e.installed_at),
-                    })
-                    .collect();
+                let stats: Vec<FlowStat> = match &self.sampler {
+                    None => self
+                        .table
+                        .iter()
+                        .map(|e| FlowStat {
+                            table: TableId(0),
+                            matcher: e.matcher,
+                            cookie: e.cookie,
+                            packet_count: e.packet_count,
+                            byte_count: e.byte_count,
+                            duration: now.duration_since(e.installed_at),
+                        })
+                        .collect(),
+                    Some(s) => {
+                        // Sampled export: only flows with sampled traffic,
+                        // and never the cookie-0 infrastructure rules
+                        // (labels, overlay defaults — the monitor cannot
+                        // resolve them to a flow anyway). At rate ≥ 1.0
+                        // the activity filter is disabled so the record
+                        // set matches the exhaustive reply on every flow
+                        // the monitor can resolve — zero-count entries
+                        // included — which keeps rate-1.0 runs
+                        // byte-identical to exhaustive mode.
+                        let all = s.rate() >= 1.0;
+                        let scale = 1.0 / s.rate();
+                        let acc = &mut self.stats;
+                        self.table
+                            .iter()
+                            .filter(|e| e.cookie != 0 && (all || e.sampled_packets > 0))
+                            .map(|e| {
+                                acc.sampled_exported += 1;
+                                let est = e.sampled_packets as f64 * scale;
+                                let truth = e.packet_count as f64;
+                                acc.est_error_ppm +=
+                                    ((est - truth).abs() / truth.max(1.0) * 1e6) as u64;
+                                FlowStat {
+                                    table: TableId(0),
+                                    matcher: e.matcher,
+                                    cookie: e.cookie,
+                                    packet_count: e.sampled_packets,
+                                    byte_count: e.sampled_bytes,
+                                    duration: now.duration_since(e.installed_at),
+                                }
+                            })
+                            .collect()
+                    }
+                };
                 vec![Output::ToController {
                     at: now + SimDuration::from_micros(500),
                     msg: SwitchToController::FlowStatsReply { stats },
@@ -581,5 +655,81 @@ mod tests {
             } => assert_eq!(stats.len(), 1),
             o => panic!("unexpected {o:?}"),
         }
+    }
+
+    fn install(v: &mut VSwitch, sport: u16, cookie: u64) {
+        v.handle_controller_msg(
+            SimTime::ZERO,
+            ControllerToSwitch::FlowMod {
+                table: TableId(0),
+                command: FlowModCommand::Add(
+                    FlowEntry::apply(
+                        Match::exact(pkt(sport).key),
+                        10,
+                        vec![Action::Output(PortId(1))],
+                    )
+                    .with_cookie(cookie),
+                ),
+            },
+        );
+    }
+
+    fn stats_reply(v: &mut VSwitch, now: SimTime) -> Vec<FlowStat> {
+        let outs = v.handle_controller_msg(now, ControllerToSwitch::FlowStatsRequest);
+        match outs.into_iter().next() {
+            Some(Output::ToController {
+                msg: SwitchToController::FlowStatsReply { stats },
+                ..
+            }) => stats,
+            o => panic!("unexpected {o:?}"),
+        }
+    }
+
+    #[test]
+    fn sampled_export_skips_unsampled_and_infra_rules() {
+        let mut v = vs();
+        // Rate small enough that 3 packets are (with this seed) never
+        // sampled; a cookie-0 "infra" rule must be excluded regardless.
+        v.enable_sampling(1.0 / 1024.0, SimRng::new(99));
+        install(&mut v, 1, 7);
+        install(&mut v, 2, 0); // infra rule
+        for _ in 0..3 {
+            v.handle_packet(SimTime::from_millis(1), PortId(0), pkt(1), false);
+            v.handle_packet(SimTime::from_millis(1), PortId(0), pkt(2), false);
+        }
+        let stats = stats_reply(&mut v, SimTime::from_secs(1));
+        assert!(
+            stats.iter().all(|s| s.cookie != 0),
+            "infra rules must never be exported by the sampled path"
+        );
+        for s in &stats {
+            assert!(s.packet_count > 0, "zero-sample flows must be filtered");
+        }
+    }
+
+    #[test]
+    fn rate_one_reply_matches_exhaustive_on_resolvable_flows() {
+        let build = |sampled: bool| {
+            let mut v = vs();
+            if sampled {
+                v.enable_sampling(1.0, SimRng::new(5));
+            }
+            install(&mut v, 1, 7);
+            install(&mut v, 2, 8); // installed but never hit
+            install(&mut v, 3, 0); // infra
+            for i in 0..5u64 {
+                v.handle_packet(SimTime::from_millis(i), PortId(0), pkt(1), false);
+            }
+            stats_reply(&mut v, SimTime::from_secs(1))
+        };
+        let exhaustive: Vec<FlowStat> =
+            build(false).into_iter().filter(|s| s.cookie != 0).collect();
+        let sampled = build(true);
+        assert_eq!(
+            sampled, exhaustive,
+            "rate 1.0 must reproduce the exhaustive record set exactly \
+             (zero-count entries included)"
+        );
+        assert!(sampled.iter().any(|s| s.packet_count == 0));
     }
 }
