@@ -38,6 +38,13 @@ pub fn build<T>(sweep: &Sweep<T>, with_timing: bool) -> Json {
                 }
                 job = job.set("metrics", metrics);
             }
+            if !r.checks.is_empty() {
+                let mut checks = Json::obj();
+                for (name, verdict) in &r.checks {
+                    checks = checks.set(name, verdict.as_str());
+                }
+                job = job.set("checks", checks);
+            }
             if let Err(message) = &r.outcome {
                 job = job.set("panic", message.as_str());
             }

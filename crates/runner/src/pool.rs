@@ -23,6 +23,7 @@ pub struct JobCtx {
     units: u64,
     kpis: Vec<(String, f64)>,
     metrics: Vec<(String, f64)>,
+    checks: Vec<(String, String)>,
 }
 
 impl JobCtx {
@@ -54,6 +55,13 @@ impl JobCtx {
         for (name, value) in entries {
             self.metric(name, value);
         }
+    }
+
+    /// Record a named post-run check verdict (e.g. one SLO rule's
+    /// "ok"/"violated"/"skipped") for the manifest's `checks` object.
+    /// Verdicts must be deterministic in `(job, seed)` like KPIs.
+    pub fn check(&mut self, name: &str, verdict: impl Into<String>) {
+        self.checks.push((name.to_string(), verdict.into()));
     }
 }
 
@@ -97,6 +105,8 @@ pub struct JobResult<T> {
     pub kpis: Vec<(String, f64)>,
     /// Full metrics-registry snapshot reported via [`JobCtx::metric`].
     pub metrics: Vec<(String, f64)>,
+    /// Named check verdicts reported via [`JobCtx::check`].
+    pub checks: Vec<(String, String)>,
 }
 
 impl<T> JobResult<T> {
@@ -314,6 +324,7 @@ fn execute<T>(job: Job<T>) -> JobResult<T> {
         units: 0,
         kpis: Vec::new(),
         metrics: Vec::new(),
+        checks: Vec::new(),
     };
     let begun = Instant::now();
     let outcome = catch_unwind(AssertUnwindSafe(|| work(&mut ctx))).map_err(|payload| {
@@ -333,5 +344,6 @@ fn execute<T>(job: Job<T>) -> JobResult<T> {
         units: ctx.units,
         kpis: ctx.kpis,
         metrics: ctx.metrics,
+        checks: ctx.checks,
     }
 }

@@ -33,6 +33,10 @@ use scotch_openflow::{
     Action, Bucket, ControllerToSwitch, FlowEntry, FlowModCommand, GroupEntry, GroupId,
     Instruction, Match, SwitchToController, TableId,
 };
+use scotch_sim::journey::{
+    JourneyPoint, JourneyRecorder, VERDICT_DIRECT, VERDICT_DROP, VERDICT_DUPLICATE,
+    VERDICT_OVERLAY, VERDICT_UNROUTABLE,
+};
 use scotch_sim::trace::{RebalanceReason, TraceEvent, TraceRecorder};
 use scotch_sim::{FxHashMap, FxHashSet};
 use scotch_sim::{SimDuration, SimTime};
@@ -205,12 +209,20 @@ pub struct ScotchApp {
     /// from 1, so cookie `c` lives at index `c - 1` — a dense `Vec` instead
     /// of a map that grows by one entry per installed flow.
     cookie_keys: Vec<FlowKey>,
+    /// Journey id per flow key, for *traced* flows only (populated at
+    /// decision time). Lets key-addressed control events — migrations,
+    /// perturbed FlowMods — land on the right journey timeline.
+    pub(crate) journey_keys: FxHashMap<FlowKey, u64>,
     /// Flows sitting in ingress queues (for duplicate-Packet-In detection).
     pending: FxHashSet<FlowKey>,
     stats: AppStats,
     /// Flight recorder for control-plane decisions. Disabled by default;
     /// a disabled recorder costs one branch per site (DESIGN.md §10).
     pub trace: TraceRecorder,
+    /// Causal flow-journey recorder (DESIGN.md §14). Disabled by default;
+    /// unlike `trace` it stays enabled on every shard lane — journey marks
+    /// are canonical output, merged and re-sorted at report time.
+    pub journeys: JourneyRecorder,
     /// Journal of flow-path mutations `(time, key, path after mutation)`.
     /// `None` (and zero-cost) in sequential runs; sharded execution enables
     /// it on the controller shard so the epoch driver, which applies host
@@ -246,9 +258,11 @@ impl ScotchApp {
             switches: FxHashMap::default(),
             policies: FxHashMap::default(),
             cookie_keys: Vec::new(),
+            journey_keys: FxHashMap::default(),
             pending: FxHashSet::default(),
             stats: AppStats::default(),
             trace: TraceRecorder::disabled(),
+            journeys: JourneyRecorder::disabled(),
             flow_journal: None,
         }
     }
@@ -410,9 +424,27 @@ impl ScotchApp {
         self.cookie_keys.len() as u64
     }
 
-    fn cookie_key(&self, cookie: u64) -> Option<FlowKey> {
+    pub(crate) fn cookie_key(&self, cookie: u64) -> Option<FlowKey> {
         let idx = cookie.checked_sub(1)?;
         self.cookie_keys.get(idx as usize).copied()
+    }
+
+    /// Record a `Decision` journey mark for a traced first packet, and
+    /// remember its key → journey binding for later key-addressed events
+    /// (migration, perturbed FlowMods).
+    #[inline]
+    fn journey_decision(&mut self, now: SimTime, packet: &Packet, node: NodeId, verdict: u64) {
+        if packet.kind == scotch_net::PacketKind::FlowStart && self.journeys.wants(packet.flow_id.0)
+        {
+            self.journeys.record(
+                packet.flow_id.0,
+                now,
+                JourneyPoint::Decision,
+                node.0,
+                verdict,
+            );
+            self.journey_keys.insert(packet.key, packet.flow_id.0);
+        }
     }
 
     /// The policy chain's middlebox waypoints for a destination.
@@ -527,6 +559,7 @@ impl ScotchApp {
         );
         if duplicate {
             self.stats.duplicate_packet_ins += 1;
+            self.journey_decision(now, &packet, origin, VERDICT_DUPLICATE);
             return self.deliver_direct(topo, &packet);
         }
 
@@ -557,6 +590,8 @@ impl ScotchApp {
                     return self.admit_physical(now, topo, pf);
                 };
                 let key = pf.key;
+                let journey = (pf.packet.kind == scotch_net::PacketKind::FlowStart)
+                    .then_some(pf.packet.flow_id.0);
                 let (outcome, shed) = ctl.scheduler.enqueue_flow(pf);
                 // Trace threshold *crossings* (not every shed flow): the
                 // transition from under-threshold service to shedding or
@@ -586,6 +621,17 @@ impl ScotchApp {
                         self.stats.dropped += 1;
                         self.trace
                             .record(now, TraceEvent::FlowDropped { switch: origin.0 });
+                        if let Some(j) = journey {
+                            if self.journeys.wants(j) {
+                                self.journeys.record(
+                                    j,
+                                    now,
+                                    JourneyPoint::Decision,
+                                    origin.0,
+                                    VERDICT_DROP,
+                                );
+                            }
+                        }
                         Vec::new()
                     }
                     (EnqueueOutcome::RouteOnOverlay, None) => unreachable!(),
@@ -646,6 +692,7 @@ impl ScotchApp {
         self.pending.remove(&pf.key);
         let Some(dst_att) = self.book.locate(pf.key.dst) else {
             self.stats.unroutable += 1;
+            self.journey_decision(now, &pf.packet, pf.origin, VERDICT_UNROUTABLE);
             return Vec::new();
         };
         let waypoints = self.waypoints(pf.key.dst);
@@ -657,6 +704,7 @@ impl ScotchApp {
             .unwrap_or(pf.origin);
         let Some(path) = topo.path_via(start, &waypoints, dst_att.host) else {
             self.stats.unroutable += 1;
+            self.journey_decision(now, &pf.packet, pf.origin, VERDICT_UNROUTABLE);
             return Vec::new();
         };
 
@@ -745,6 +793,7 @@ impl ScotchApp {
         self.flowdb
             .record(pf.key, pf.origin, pf.origin_port, now, FlowPath::Physical);
         self.journal_flow(now, pf.key);
+        self.journey_decision(now, &pf.packet, pf.origin, VERDICT_DIRECT);
         self.stats.physical_admitted += 1;
         self.trace.record(
             now,
@@ -766,12 +815,14 @@ impl ScotchApp {
         self.pending.remove(&pf.key);
         let Some(dst_att) = self.book.locate(pf.key.dst) else {
             self.stats.unroutable += 1;
+            self.journey_decision(now, &pf.packet, pf.origin, VERDICT_UNROUTABLE);
             return Vec::new();
         };
         let Some(w) = self.overlay.host_vswitch_of(dst_att.host) else {
             // Destination not covered by a host vSwitch: cannot deliver on
             // the overlay.
             self.stats.overlay_undeliverable += 1;
+            self.journey_decision(now, &pf.packet, pf.origin, VERDICT_UNROUTABLE);
             return Vec::new();
         };
         // V: the vSwitch holding the packet, or the destination's local
@@ -783,6 +834,7 @@ impl ScotchApp {
                 Some(m) => m,
                 None => {
                     self.stats.overlay_undeliverable += 1;
+                    self.journey_decision(now, &pf.packet, pf.origin, VERDICT_UNROUTABLE);
                     return Vec::new();
                 }
             }
@@ -833,6 +885,7 @@ impl ScotchApp {
         let terminal = segments.len().saturating_sub(1);
         if segments.iter().take(terminal).any(|(_, t)| t.is_none()) {
             self.stats.overlay_undeliverable += 1;
+            self.journey_decision(now, &pf.packet, pf.origin, VERDICT_UNROUTABLE);
             return Vec::new();
         }
         let cookie = self.next_cookie(pf.key);
@@ -900,6 +953,7 @@ impl ScotchApp {
         self.flowdb
             .record(pf.key, pf.origin, pf.origin_port, now, FlowPath::Overlay);
         self.journal_flow(now, pf.key);
+        self.journey_decision(now, &pf.packet, pf.origin, VERDICT_OVERLAY);
         self.stats.overlay_admitted += 1;
         self.trace.record(
             now,
@@ -944,6 +998,10 @@ impl ScotchApp {
                     deferred: true,
                 },
             );
+            if let Some(&j) = self.journey_keys.get(&job.key) {
+                self.journeys
+                    .record(j, now, JourneyPoint::Migration, info.first_hop.0, 1);
+            }
             if let Some(ctl) = self.switches.get_mut(&info.first_hop) {
                 ctl.scheduler.push_migration(job);
             }
@@ -989,6 +1047,10 @@ impl ScotchApp {
         }
         self.flowdb.mark_migrated(&job.key);
         self.journal_flow(now, job.key);
+        if let Some(&j) = self.journey_keys.get(&job.key) {
+            self.journeys
+                .record(j, now, JourneyPoint::Migration, info.first_hop.0, 0);
+        }
         self.stats.migrations += 1;
         self.trace.record(
             now,

@@ -66,6 +66,7 @@ pub mod report;
 pub mod scenario;
 mod shard;
 pub mod sim;
+pub mod slo;
 pub mod telemetry;
 
 pub use app::ScotchApp;
@@ -75,3 +76,4 @@ pub use overlay::OverlayManager;
 pub use report::Report;
 pub use scenario::Scenario;
 pub use sim::Simulation;
+pub use slo::{SloOutcome, SloTable};

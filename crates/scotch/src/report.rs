@@ -2,6 +2,7 @@
 
 use crate::app::AppStats;
 use scotch_net::NodeId;
+use scotch_sim::journey::{JourneyMark, JourneyView, LatencyDecomposition};
 use scotch_sim::metrics::Histogram;
 use scotch_sim::trace::TraceRecorder;
 use scotch_sim::{MetricsSnapshot, ProfileEntry, SimDuration, SimTime};
@@ -151,6 +152,12 @@ pub struct Report {
     /// Timestamps are sim-time, so the trace is bit-reproducible per
     /// `(scenario, seed)`. Also excluded from the canonical report.
     pub trace: TraceRecorder,
+    /// Canonical causal journey-mark stream (DESIGN.md §14), empty unless
+    /// journey tracing was enabled. Sorted `(journey, time, point, node,
+    /// info)`; bit-reproducible per `(scenario, seed, rate)` and invariant
+    /// across shard counts. Excluded from the canonical report like
+    /// `trace`/`metrics`.
+    pub journeys: Vec<JourneyMark>,
     /// Per-event-type wall-clock dispatch profile, non-empty only when
     /// [`crate::Simulation::enable_profiling`] was called. Wall-clock ⇒
     /// machine-dependent ⇒ never in the canonical report.
@@ -460,6 +467,38 @@ impl Report {
             for (name, value) in rec.event.fields() {
                 line = line.set(name, value);
             }
+            out.push_str(&line.compact());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Per-journey timeline views reconstructed from the canonical mark
+    /// stream (empty unless journey tracing was enabled).
+    pub fn journey_views(&self) -> Vec<JourneyView> {
+        JourneyView::split(&self.journeys)
+    }
+
+    /// Per-stage latency decomposition over the recorded journeys.
+    pub fn journey_decomposition(&self) -> LatencyDecomposition {
+        LatencyDecomposition::from_marks(&self.journeys)
+    }
+
+    /// Render the journey-mark stream as JSONL: one compact object per
+    /// mark with `journey`, `t_ns`, `point`, `node`, `info`. The `shard`
+    /// field is deliberately omitted — it is the one observational field
+    /// that differs between shard counts; everything emitted here is
+    /// byte-identical for shards 1/2/4/8.
+    pub fn journeys_jsonl(&self) -> String {
+        use scotch_runner::Json;
+        let mut out = String::new();
+        for m in &self.journeys {
+            let line = Json::obj()
+                .set("journey", m.journey)
+                .set("t_ns", m.at.as_nanos())
+                .set("point", m.point.name())
+                .set("node", u64::from(m.node))
+                .set("info", m.info);
             out.push_str(&line.compact());
             out.push('\n');
         }

@@ -15,6 +15,7 @@ use crate::sim::Simulation;
 use scotch_controller::AddressBook;
 use scotch_net::{FlowKey, IpAddr, LinkSpec, NodeId, NodeKind, Topology};
 use scotch_sim::fault::FaultPlan;
+use scotch_sim::journey::{JourneyConfig, JourneyRecorder};
 use scotch_sim::trace::{TraceConfig, TraceRecorder};
 use scotch_sim::{SimDuration, SimRng, SimTime};
 use scotch_switch::middlebox::{Middlebox, StatefulFirewall};
@@ -102,6 +103,7 @@ pub struct Scenario {
     link_loss: f64,
     horizon: SimTime,
     tracing: Option<TraceConfig>,
+    journeys: Option<JourneyConfig>,
     chaos_plan: Option<FaultPlan>,
     interrack_propagation: Option<SimDuration>,
     rack_clients: Option<f64>,
@@ -129,6 +131,7 @@ impl Scenario {
             link_loss: 0.0,
             horizon: SimTime::from_secs(3600),
             tracing: None,
+            journeys: None,
             chaos_plan: None,
             interrack_propagation: None,
             rack_clients: None,
@@ -157,6 +160,7 @@ impl Scenario {
             link_loss: 0.0,
             horizon: SimTime::from_secs(3600),
             tracing: None,
+            journeys: None,
             chaos_plan: None,
             interrack_propagation: None,
             rack_clients: None,
@@ -334,6 +338,26 @@ impl Scenario {
         self
     }
 
+    /// Builder: enable causal journey tracing with an explicit
+    /// [`JourneyConfig`] (sampling rate, always-trace flow set, mark
+    /// capacity). Journey marks are canonical output: selection is a pure
+    /// hash of `(flow_id, seed)`, so the mark stream is bit-identical for
+    /// any shard count.
+    pub fn with_journeys(mut self, config: JourneyConfig) -> Self {
+        self.journeys = Some(config);
+        self
+    }
+
+    /// Builder: enable causal journey tracing at sampling `rate` in
+    /// `(0, 1]` with default capacity and no always-trace set.
+    pub fn with_journey_rate(mut self, rate: f64) -> Self {
+        self.journeys = Some(JourneyConfig {
+            rate,
+            ..JourneyConfig::default()
+        });
+        self
+    }
+
     /// Builder (multi-rack only): set the ToR–spine propagation delay.
     /// Physically this models racks in different rooms or buildings; for
     /// sharded runs it widens the conservative lookahead window (which is
@@ -429,6 +453,7 @@ impl Scenario {
 
     fn build_for(self, seed: u64, horizon_secs: f64) -> Simulation {
         let tracing = self.tracing.clone();
+        let journeys = self.journeys.clone();
         let chaos_plan = self.chaos_plan.clone();
         let flow_hint = self.expected_flow_count(horizon_secs);
         let mut sim = match self.kind {
@@ -447,6 +472,9 @@ impl Scenario {
                 sim.app.trace = TraceRecorder::new(TraceConfig::default());
             }
             None => {}
+        }
+        if let Some(config) = journeys {
+            sim.app.journeys = JourneyRecorder::new(&config, seed);
         }
         if let Some(plan) = chaos_plan {
             let mut rng = SimRng::new(seed);

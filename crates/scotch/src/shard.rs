@@ -682,6 +682,9 @@ fn run(mut sim: Simulation, until: SimTime, shards: usize, threads: usize) -> Re
         // Trace and flow journal are hub-only: the trace recorder is not
         // canonical output and device-side records from remote lanes are
         // deliberately dropped; the journal exists to feed the driver.
+        // The journey recorder stays ENABLED on every lane — journey marks
+        // are canonical output, absorbed into the hub and re-sorted before
+        // the report is built.
         a.trace = TraceRecorder::disabled();
         a.flow_journal = None;
         clones.push(a);
@@ -691,6 +694,7 @@ fn run(mut sim: Simulation, until: SimTime, shards: usize, threads: usize) -> Re
     let mut lanes: Vec<Simulation> = Vec::with_capacity(m);
     for (s, a) in std::iter::once(app).chain(clones).enumerate() {
         let mut lane = Simulation::new(topo.clone(), a);
+        lane.app.journeys.set_shard(s as u16);
         lane.host_ip = host_ip.clone();
         lane.ip_host = ip_host.clone();
         lane.sweep_interval = sweep_interval;
@@ -790,6 +794,7 @@ fn run(mut sim: Simulation, until: SimTime, shards: usize, threads: usize) -> Re
     let mut all_flows: Vec<FlowRecord> = std::mem::take(&mut hub.flows);
     for (i, mut lane) in rest.into_iter().enumerate() {
         let s = (i + 1) as u32;
+        hub.app.journeys.absorb(&mut lane.app.journeys);
         hub.chaos.absorb_counters(&lane.chaos);
         hub.topo
             .adopt_link_states(&lane.topo, |n| driver.part.shard_of(n) == s);

@@ -13,6 +13,9 @@ use scotch_controller::Command;
 use scotch_net::{IpAddr, Label, LinkId, NodeId, NodeKind, NodeMap, Packet, PortId, Topology};
 use scotch_openflow::{ControllerToSwitch, FlowModCommand, SwitchToController};
 use scotch_sim::fault::{FaultEvent, FaultKind, FaultPlan, FAULT_KIND_COUNT, FAULT_KIND_NAMES};
+use scotch_sim::journey::{
+    JourneyPoint, JourneyRecorder, LatencyDecomposition, DROP_CTRL_REJECT, DROP_LINK,
+};
 use scotch_sim::metrics::Histogram;
 use scotch_sim::trace::{TraceEvent, TraceRecorder};
 use scotch_sim::{
@@ -942,6 +945,7 @@ impl Simulation {
             if let Some(seed) = self.chaos_seed {
                 // All controller→switch perturbations draw from the
                 // controller's own stream.
+                let journey = self.journey_of_cmd(&cmd.msg);
                 let rng = chaos_stream(&mut self.chaos_streams, seed, u32::MAX);
                 if now < self.chaos.loss_until && rng.chance(self.chaos.loss_p) {
                     self.chaos.tx_dropped[kind] += 1;
@@ -954,6 +958,15 @@ impl Simulation {
                             kind: PERTURB_DROP_TX,
                         },
                     );
+                    if let Some(j) = journey {
+                        self.app.journeys.record(
+                            j,
+                            now,
+                            JourneyPoint::Fault,
+                            cmd.to.0,
+                            u64::from(PERTURB_DROP_TX),
+                        );
+                    }
                     continue;
                 }
                 if now < self.chaos.reorder_until
@@ -969,6 +982,15 @@ impl Simulation {
                             kind: PERTURB_DELAY,
                         },
                     );
+                    if let Some(j) = journey {
+                        self.app.journeys.record(
+                            j,
+                            now,
+                            JourneyPoint::Fault,
+                            cmd.to.0,
+                            u64::from(PERTURB_DELAY),
+                        );
+                    }
                 }
             }
             self.push_ctrl_to(now, at, cmd.to, Box::new(cmd.msg));
@@ -1025,6 +1047,71 @@ impl Simulation {
         }
     }
 
+    /// Record a journey mark for a first packet in flight. One compare per
+    /// packet event when tracing is off (`wants` checks its enable flag
+    /// first); hash + compare for `FlowStart` packets when on.
+    #[inline]
+    fn journey_mark(
+        &mut self,
+        now: SimTime,
+        packet: &Packet,
+        point: JourneyPoint,
+        node: u32,
+        info: u64,
+    ) {
+        if packet.kind == scotch_net::PacketKind::FlowStart
+            && self.app.journeys.wants(packet.flow_id.0)
+        {
+            self.app
+                .journeys
+                .record(packet.flow_id.0, now, point, node, info);
+        }
+    }
+
+    /// The traced journey a switch→controller message carries, if any.
+    #[inline]
+    fn journey_of_msg(&self, msg: &SwitchToController) -> Option<u64> {
+        if !self.app.journeys.is_enabled() {
+            return None;
+        }
+        match msg {
+            SwitchToController::PacketIn { packet, .. }
+                if packet.kind == scotch_net::PacketKind::FlowStart
+                    && self.app.journeys.wants(packet.flow_id.0) =>
+            {
+                Some(packet.flow_id.0)
+            }
+            _ => None,
+        }
+    }
+
+    /// The traced journey a controller→switch command affects, if any.
+    /// PacketOuts carry the packet itself; FlowMod Adds resolve through
+    /// the hub-side cookie → key → journey maps (both live on the
+    /// controller lane, so the answer is shard-invariant).
+    #[inline]
+    fn journey_of_cmd(&self, msg: &ControllerToSwitch) -> Option<u64> {
+        if !self.app.journeys.is_enabled() {
+            return None;
+        }
+        match msg {
+            ControllerToSwitch::PacketOut { packet, .. }
+                if packet.kind == scotch_net::PacketKind::FlowStart
+                    && self.app.journeys.wants(packet.flow_id.0) =>
+            {
+                Some(packet.flow_id.0)
+            }
+            ControllerToSwitch::FlowMod {
+                command: FlowModCommand::Add(entry),
+                ..
+            } => self
+                .app
+                .cookie_key(entry.cookie)
+                .and_then(|k| self.app.journey_keys.get(&k).copied()),
+            _ => None,
+        }
+    }
+
     fn transmit(&mut self, now: SimTime, from: NodeId, out_port: PortId, packet: Packet) {
         match self.topo.transmit(now, from, out_port, packet.size) {
             Some((to, in_port, at)) => {
@@ -1060,6 +1147,7 @@ impl Simulation {
             }
             None => {
                 self.drops.link_queue += 1;
+                self.journey_mark(now, &packet, JourneyPoint::Drop, from.0, DROP_LINK);
             }
         }
     }
@@ -1071,6 +1159,26 @@ impl Simulation {
                     self.transmit(now, node, out_port, packet);
                 }
                 Output::ToController { at, msg } => {
+                    // The OFA stamps its own emission time `at` (service
+                    // delay included); `max(now)` is the instant the
+                    // message actually leaves the switch.
+                    let journey = self.journey_of_msg(&msg);
+                    if let Some(j) = journey {
+                        let via_overlay = matches!(
+                            &msg,
+                            SwitchToController::PacketIn {
+                                via_tunnel: Some(_),
+                                ..
+                            }
+                        );
+                        self.app.journeys.record(
+                            j,
+                            at.max(now),
+                            JourneyPoint::OfaOut,
+                            node.0,
+                            u64::from(via_overlay),
+                        );
+                    }
                     let mut deliver = at.max(now) + self.control_latency(node);
                     let mut duplicate = false;
                     if let Some(seed) = self.chaos_seed {
@@ -1086,6 +1194,15 @@ impl Simulation {
                                     kind: PERTURB_DROP_RX,
                                 },
                             );
+                            if let Some(j) = journey {
+                                self.app.journeys.record(
+                                    j,
+                                    now,
+                                    JourneyPoint::Fault,
+                                    node.0,
+                                    u64::from(PERTURB_DROP_RX),
+                                );
+                            }
                             continue;
                         }
                         if now < self.chaos.reorder_until
@@ -1101,12 +1218,30 @@ impl Simulation {
                                     kind: PERTURB_DELAY,
                                 },
                             );
+                            if let Some(j) = journey {
+                                self.app.journeys.record(
+                                    j,
+                                    now,
+                                    JourneyPoint::Fault,
+                                    node.0,
+                                    u64::from(PERTURB_DELAY),
+                                );
+                            }
                         }
                         if now < self.chaos.dup_until && rng.chance(self.chaos.dup_p) {
                             self.chaos.duplicated[kind] += 1;
                             self.app
                                 .trace
                                 .record(now, TraceEvent::CtrlMsgPerturbed { kind: PERTURB_DUP });
+                            if let Some(j) = journey {
+                                self.app.journeys.record(
+                                    j,
+                                    now,
+                                    JourneyPoint::Fault,
+                                    node.0,
+                                    u64::from(PERTURB_DUP),
+                                );
+                            }
                             duplicate = true;
                         }
                     }
@@ -1115,12 +1250,27 @@ impl Simulation {
                     }
                     self.push_ctrl_from(now, deliver, node, Box::new(msg));
                 }
-                Output::Dropped { reason, .. } => match reason {
-                    DropReason::OfaOverload => self.drops.ofa_overload += 1,
-                    DropReason::DataPlaneOverload => self.drops.dataplane += 1,
-                    DropReason::Policy => self.drops.policy += 1,
-                    DropReason::NoRoute => self.drops.no_route += 1,
-                },
+                Output::Dropped { reason, packet } => {
+                    let code = match reason {
+                        DropReason::OfaOverload => {
+                            self.drops.ofa_overload += 1;
+                            0
+                        }
+                        DropReason::DataPlaneOverload => {
+                            self.drops.dataplane += 1;
+                            1
+                        }
+                        DropReason::Policy => {
+                            self.drops.policy += 1;
+                            2
+                        }
+                        DropReason::NoRoute => {
+                            self.drops.no_route += 1;
+                            3
+                        }
+                    };
+                    self.journey_mark(now, &packet, JourneyPoint::Drop, node.0, code);
+                }
             }
         }
     }
@@ -1129,7 +1279,16 @@ impl Simulation {
         if let Some(cap) = self.captures.get_mut(node) {
             cap.record(now, &packet);
         }
-        match self.topo.kind(node) {
+        let kind = self.topo.kind(node);
+        if kind != NodeKind::Host {
+            // Journey milestone: first-packet arrival at a forwarding
+            // element. info bit 0 = rode an overlay tunnel, bit 1 = the
+            // node is a middlebox.
+            let info =
+                u64::from(packet.is_tunneled()) | if kind == NodeKind::Middlebox { 2 } else { 0 };
+            self.journey_mark(now, &packet, JourneyPoint::Arrive, node.0, info);
+        }
+        match kind {
             NodeKind::Host => self.deliver(now, node, packet),
             NodeKind::Middlebox => {
                 let Some(mb) = self.middleboxes.get_mut(node) else {
@@ -1143,10 +1302,11 @@ impl Simulation {
                             self.transmit(now, node, out, p);
                         }
                     }
-                    MbVerdict::RejectNoState(_) => {
+                    MbVerdict::RejectNoState(p) => {
                         // Counted via the middlebox's own counter; also in
                         // policy drops.
                         self.drops.policy += 1;
+                        self.journey_mark(now, &p, JourneyPoint::Drop, node.0, 2);
                     }
                 }
             }
@@ -1182,6 +1342,13 @@ impl Simulation {
     }
 
     fn deliver(&mut self, now: SimTime, host: NodeId, packet: Packet) {
+        // Journey terminal — recorded lane-side (before the sharded defer
+        // below) so the mark lands at event time on the lane owning the
+        // host, exactly as in the sequential engine. The driver's
+        // accounting mirror must NOT record a second mark.
+        if self.app.journeys.is_enabled() && self.host_ip.get(host) == Some(&packet.key.dst) {
+            self.journey_mark(now, &packet, JourneyPoint::Deliver, host.0, 0);
+        }
         if let Some(ctx) = self.shard.as_mut() {
             // Delivery only mutates accounting (flow record, latency
             // histogram, tracked samples) — it schedules nothing and
@@ -1277,6 +1444,7 @@ impl Simulation {
             rec.emitted += 1;
             (p, rec.src_host, seq + 1 < spec.packets)
         };
+        self.journey_mark(now, &packet, JourneyPoint::Emit, src_host.0, 0);
         // Hosts have exactly one uplink; `run()` validated its existence at
         // startup, so a miss here is an internal invariant violation.
         let uplink = self
@@ -1431,6 +1599,12 @@ impl Simulation {
                     return;
                 }
                 self.ctrl_rx[ctrl_rx_kind(&msg)] += 1;
+                let journey = self.journey_of_msg(&msg);
+                if let Some(j) = journey {
+                    self.app
+                        .journeys
+                        .record(j, now, JourneyPoint::CtrlRx, from.0, 0);
+                }
                 match &mut self.controller_gate {
                     Some((server, service)) => match server.offer(now, *service) {
                         scotch_sim::rate::Admission::Accepted { departs_at } => {
@@ -1439,6 +1613,15 @@ impl Simulation {
                         }
                         scotch_sim::rate::Admission::Rejected => {
                             self.controller_dropped += 1;
+                            if let Some(j) = journey {
+                                self.app.journeys.record(
+                                    j,
+                                    now,
+                                    JourneyPoint::Drop,
+                                    from.0,
+                                    DROP_CTRL_REJECT,
+                                );
+                            }
                         }
                     },
                     None => {
@@ -1456,6 +1639,11 @@ impl Simulation {
                     self.events
                         .push(self.chaos.stall_until, Event::CtrlProcessed { from, msg });
                     return;
+                }
+                if let Some(j) = self.journey_of_msg(&msg) {
+                    self.app
+                        .journeys
+                        .record(j, now, JourneyPoint::CtrlDeq, from.0, 0);
                 }
                 let cmds = {
                     let topo = &self.topo;
@@ -1754,6 +1942,29 @@ impl Simulation {
         *reg.histogram_mut(lat) = self.latency.clone();
         reg.add("trace.recorded", self.app.trace.total_recorded());
         reg.add("trace.dropped", self.app.trace.dropped());
+        // Causal journey stream (DESIGN.md §14): close every open journey
+        // at the horizon, then fold the per-stage latency decomposition
+        // into the registry. Like trace/metrics, the mark stream itself is
+        // report output excluded from `canonical_json()`.
+        let mut journeys = std::mem::replace(&mut self.app.journeys, JourneyRecorder::disabled());
+        if journeys.is_enabled() {
+            journeys.close_open(until);
+            reg.add("journey.marks", journeys.total_recorded());
+            reg.add("journey.marks_dropped", journeys.dropped());
+            let d = LatencyDecomposition::from_marks(journeys.marks());
+            reg.add("journey.count", d.journeys);
+            reg.add("journey.delivered", d.delivered);
+            reg.add("journey.dropped", d.dropped);
+            reg.add("journey.cancelled", d.cancelled);
+            let id = reg.histogram("journey.setup_ns");
+            *reg.histogram_mut(id) = d.setup.clone();
+            for (stage, h) in &d.stages {
+                if h.count() > 0 {
+                    let id = reg.histogram(&format!("journey.stage.{}_ns", stage.name()));
+                    *reg.histogram_mut(id) = h.clone();
+                }
+            }
+        }
         if !self.fault_plan.is_empty() {
             // Chaos ledger: only exported when a fault plan was attached, so
             // fault-free golden runs keep their exact metric surface.
@@ -1821,6 +2032,7 @@ impl Simulation {
             captures: self.captures.into_iter().collect(),
             metrics,
             trace,
+            journeys: journeys.take_marks(),
             profile,
         }
     }

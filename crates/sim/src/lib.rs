@@ -24,6 +24,7 @@
 pub mod event;
 pub mod fault;
 pub mod hash;
+pub mod journey;
 pub mod metrics;
 pub mod rate;
 pub mod registry;
@@ -34,6 +35,10 @@ pub mod trace;
 pub use event::{EventQueue, HeapEventQueue};
 pub use fault::{FaultEvent, FaultKind, FaultPlan, FAULT_KIND_COUNT, FAULT_KIND_NAMES};
 pub use hash::{FxHashMap, FxHashSet};
+pub use journey::{
+    JourneyConfig, JourneyMark, JourneyPoint, JourneyRecorder, JourneyView, LatencyDecomposition,
+    Span, Stage,
+};
 pub use registry::{DispatchProfiler, MetricsRegistry, MetricsSnapshot, ProfileEntry};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};
