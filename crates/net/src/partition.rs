@@ -61,6 +61,16 @@ impl Partition {
         self.shards <= 1
     }
 
+    /// Nodes owned by each shard, indexed by shard id — the lane-composition
+    /// column of a scaling report.
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.shards as usize];
+        for &s in &self.shard_of {
+            sizes[s as usize] += 1;
+        }
+        sizes
+    }
+
     /// Minimum propagation delay over links whose endpoints are on
     /// different shards, or `None` when no link crosses the cut.
     ///
@@ -134,6 +144,15 @@ mod tests {
         assert_eq!(p3.shards(), 3); // clamped to regions + 1
         assert_eq!(p3.shard_of(NodeId(1)), 1);
         assert_eq!(p3.shard_of(NodeId(2)), 2);
+    }
+
+    #[test]
+    fn shard_sizes_cover_every_node() {
+        let (t, regions) = two_rack_topo();
+        let p = Partition::by_regions(t.node_count(), &regions, 3);
+        let sizes = p.shard_sizes();
+        assert_eq!(sizes, vec![1, 1, 1]); // spine on hub, one tor per shard
+        assert_eq!(sizes.iter().sum::<usize>(), t.node_count());
     }
 
     #[test]

@@ -18,6 +18,21 @@
 
 use std::sync::mpsc::{channel, sync_channel, SyncSender};
 use std::thread;
+use std::time::{Duration, Instant};
+
+/// Wall-clock accounting of one [`lockstep_timed`] run. Observability only:
+/// the numbers are machine- and schedule-dependent and must never feed a
+/// deterministic report.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LockstepStats {
+    /// Barriers executed (`control` calls that returned an epoch token).
+    pub epochs: u64,
+    /// Total wall-clock time inside the `control` closure (barriers).
+    pub barrier_wall: Duration,
+    /// Total wall-clock time in epoch execution (dispatch to last lane
+    /// collected; includes worker idle time on unbalanced lanes).
+    pub epoch_wall: Duration,
+}
 
 /// Drive `lanes` through lockstep epochs until `control` returns `None`.
 ///
@@ -27,24 +42,53 @@ use std::thread;
 /// token)` runs once per lane — concurrently when `threads > 1`.
 ///
 /// Returns the lanes in their original order.
-pub fn lockstep<L, E, C, S>(mut lanes: Vec<L>, threads: usize, mut control: C, step: S) -> Vec<L>
+pub fn lockstep<L, E, C, S>(lanes: Vec<L>, threads: usize, control: C, step: S) -> Vec<L>
 where
     L: Send,
     E: Clone + Send,
     C: FnMut(&mut [L]) -> Option<E>,
     S: Fn(usize, &mut L, E) + Sync,
 {
+    lockstep_timed(lanes, threads, control, step).0
+}
+
+/// [`lockstep`] with per-phase wall-clock accounting: returns the lanes and
+/// a [`LockstepStats`] splitting the run into barrier vs. epoch time. The
+/// stamps are two `Instant` reads per phase (per epoch, not per event), so
+/// the accounting is always on.
+pub fn lockstep_timed<L, E, C, S>(
+    mut lanes: Vec<L>,
+    threads: usize,
+    mut control: C,
+    step: S,
+) -> (Vec<L>, LockstepStats)
+where
+    L: Send,
+    E: Clone + Send,
+    C: FnMut(&mut [L]) -> Option<E>,
+    S: Fn(usize, &mut L, E) + Sync,
+{
+    let mut stats = LockstepStats::default();
     let n = lanes.len();
     if n == 0 {
-        return lanes;
+        return (lanes, stats);
     }
     if threads <= 1 || n == 1 {
-        while let Some(token) = control(&mut lanes) {
+        loop {
+            let t0 = Instant::now();
+            let token = control(&mut lanes);
+            stats.barrier_wall += t0.elapsed();
+            let Some(token) = token else {
+                break;
+            };
+            stats.epochs += 1;
+            let t0 = Instant::now();
             for (i, lane) in lanes.iter_mut().enumerate() {
                 step(i, lane, token.clone());
             }
+            stats.epoch_wall += t0.elapsed();
         }
-        return lanes;
+        return (lanes, stats);
     }
 
     let step = &step;
@@ -70,9 +114,14 @@ where
         drop(done_tx);
 
         loop {
-            let Some(token) = control(&mut lanes) else {
+            let t0 = Instant::now();
+            let token = control(&mut lanes);
+            stats.barrier_wall += t0.elapsed();
+            let Some(token) = token else {
                 break;
             };
+            stats.epochs += 1;
+            let t0 = Instant::now();
             let mut out: Vec<Option<L>> = lanes.drain(..).map(Some).collect();
             for (i, tx) in to_worker.iter().enumerate() {
                 let lane = out[i].take().expect("lane present before dispatch");
@@ -85,10 +134,11 @@ where
                 back[i] = Some(lane);
             }
             lanes.extend(back.into_iter().map(|l| l.expect("every lane returned")));
+            stats.epoch_wall += t0.elapsed();
         }
         drop(to_worker); // hang up; workers exit their recv loops
     });
-    lanes
+    (lanes, stats)
 }
 
 #[cfg(test)]
@@ -140,6 +190,26 @@ mod tests {
         );
         assert_eq!(sums, vec![0, 8, 16, 24]);
         assert_eq!(out, vec![3; 8]);
+    }
+
+    /// The timed variant counts epochs and accumulates both phase walls
+    /// without changing the lane results.
+    #[test]
+    fn timed_variant_counts_epochs() {
+        for threads in [1, 4] {
+            let mut epochs = 0;
+            let (lanes, stats) = lockstep_timed(
+                vec![0u64; 4],
+                threads,
+                move |_lanes: &mut [u64]| {
+                    epochs += 1;
+                    (epochs <= 3).then_some(1u64)
+                },
+                |_, lane, token| *lane += token,
+            );
+            assert_eq!(lanes, vec![3; 4]);
+            assert_eq!(stats.epochs, 3);
+        }
     }
 
     /// Zero lanes is a no-op, one lane takes the inline path.

@@ -25,6 +25,6 @@ pub mod json;
 pub mod manifest;
 pub mod pool;
 
-pub use epoch::lockstep;
+pub use epoch::{lockstep, lockstep_timed, LockstepStats};
 pub use json::Json;
 pub use pool::{Job, JobCtx, JobResult, Sweep, SweepRunner};

@@ -52,6 +52,13 @@ pub fn build<T>(sweep: &Sweep<T>, with_timing: bool) -> Json {
                 job = job
                     .set("wall_ms", r.wall.as_secs_f64() * 1e3)
                     .set("units_per_sec", r.units_per_sec());
+                if !r.timings.is_empty() {
+                    let mut timing = Json::obj();
+                    for (name, value) in &r.timings {
+                        timing = timing.set(name, *value);
+                    }
+                    job = job.set("timing", timing);
+                }
             }
             job
         })
@@ -71,7 +78,10 @@ pub fn build<T>(sweep: &Sweep<T>, with_timing: bool) -> Json {
                 .set("total_wall_ms", sweep.wall.as_secs_f64() * 1e3)
                 .set("jobs_per_sec", sweep.jobs_per_sec())
                 .set("job_wall_us_p50", sweep.timing_us.quantile(0.5))
-                .set("job_wall_us_p99", sweep.timing_us.quantile(0.99)),
+                .set("job_wall_us_p99", sweep.timing_us.quantile(0.99))
+                .set("steals", sweep.steals.get())
+                .set("queue_depth_p50", sweep.queue_depth.quantile(0.5))
+                .set("queue_depth_max", sweep.queue_depth.max()),
         );
     }
     doc

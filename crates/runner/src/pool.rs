@@ -24,6 +24,7 @@ pub struct JobCtx {
     kpis: Vec<(String, f64)>,
     metrics: Vec<(String, f64)>,
     checks: Vec<(String, String)>,
+    timings: Vec<(String, f64)>,
 }
 
 impl JobCtx {
@@ -62,6 +63,14 @@ impl JobCtx {
     /// Verdicts must be deterministic in `(job, seed)` like KPIs.
     pub fn check(&mut self, name: &str, verdict: impl Into<String>) {
         self.checks.push((name.to_string(), verdict.into()));
+    }
+
+    /// Record a named wall-clock measurement (utilization, stall fraction,
+    /// speedup inputs). Unlike KPIs these are explicitly machine-dependent:
+    /// they appear only in the manifest's per-job `timing` object and are
+    /// stripped from normalized manifests.
+    pub fn timing(&mut self, name: &str, value: f64) {
+        self.timings.push((name.to_string(), value));
     }
 }
 
@@ -107,6 +116,8 @@ pub struct JobResult<T> {
     pub metrics: Vec<(String, f64)>,
     /// Named check verdicts reported via [`JobCtx::check`].
     pub checks: Vec<(String, String)>,
+    /// Wall-clock measurements reported via [`JobCtx::timing`].
+    pub timings: Vec<(String, f64)>,
 }
 
 impl<T> JobResult<T> {
@@ -137,6 +148,12 @@ pub struct Sweep<T> {
     pub completed: Counter,
     /// Jobs that panicked.
     pub failed: Counter,
+    /// Jobs taken from a sibling worker's deque rather than the owner's.
+    pub steals: Counter,
+    /// Own-deque depth observed at each local pop (scheduling pressure:
+    /// a persistently deep own queue with zero steals means the deal was
+    /// balanced; shallow queues with many steals mean workers ran dry).
+    pub queue_depth: Histogram,
 }
 
 impl<T> Sweep<T> {
@@ -254,21 +271,44 @@ impl SweepRunner {
         let slots: Vec<Mutex<Option<JobResult<T>>>> =
             (0..total).map(|_| Mutex::new(None)).collect();
         let done = AtomicUsize::new(0);
+        let total_steals = AtomicUsize::new(0);
+        let depth_slots: Vec<Mutex<Vec<f64>>> =
+            (0..threads).map(|_| Mutex::new(Vec::new())).collect();
 
         std::thread::scope(|scope| {
             for me in 0..threads {
                 let queues = &queues;
                 let slots = &slots;
                 let done = &done;
+                let total_steals = &total_steals;
+                let depth_slots = &depth_slots;
                 scope.spawn(move || {
+                    let mut steals = 0usize;
+                    let mut depths = Vec::new();
                     loop {
                         // Own queue first (front), then steal (back).
-                        let next = queues[me].lock().unwrap().pop_front().or_else(|| {
-                            (1..threads)
-                                .map(|k| (me + k) % threads)
-                                .find_map(|victim| queues[victim].lock().unwrap().pop_back())
+                        let next = {
+                            let mut own = queues[me].lock().unwrap();
+                            let job = own.pop_front();
+                            if job.is_some() {
+                                depths.push(own.len() as f64);
+                            }
+                            job
+                        }
+                        .or_else(|| {
+                            (1..threads).map(|k| (me + k) % threads).find_map(|victim| {
+                                let stolen = queues[victim].lock().unwrap().pop_back();
+                                if stolen.is_some() {
+                                    steals += 1;
+                                }
+                                stolen
+                            })
                         });
-                        let Some((slot, job)) = next else { break };
+                        let Some((slot, job)) = next else {
+                            total_steals.fetch_add(steals, Ordering::Relaxed);
+                            depth_slots[me].lock().unwrap().append(&mut depths);
+                            break;
+                        };
                         let result = execute(job);
                         let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
                         if self.progress {
@@ -305,6 +345,14 @@ impl SweepRunner {
                 failed.incr();
             }
         }
+        let mut steals = Counter::new();
+        steals.add(total_steals.load(Ordering::Relaxed) as u64);
+        let mut queue_depth = Histogram::new();
+        for slot in depth_slots {
+            for d in slot.into_inner().unwrap() {
+                queue_depth.record(d);
+            }
+        }
         Sweep {
             name: name.to_string(),
             threads,
@@ -313,6 +361,8 @@ impl SweepRunner {
             timing_us,
             completed,
             failed,
+            steals,
+            queue_depth,
         }
     }
 }
@@ -325,6 +375,7 @@ fn execute<T>(job: Job<T>) -> JobResult<T> {
         kpis: Vec::new(),
         metrics: Vec::new(),
         checks: Vec::new(),
+        timings: Vec::new(),
     };
     let begun = Instant::now();
     let outcome = catch_unwind(AssertUnwindSafe(|| work(&mut ctx))).map_err(|payload| {
@@ -345,5 +396,6 @@ fn execute<T>(job: Job<T>) -> JobResult<T> {
         kpis: ctx.kpis,
         metrics: ctx.metrics,
         checks: ctx.checks,
+        timings: ctx.timings,
     }
 }

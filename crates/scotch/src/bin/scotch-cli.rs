@@ -8,6 +8,7 @@
 //! scotch-cli bench hotpath [BENCH OPTIONS]
 //! scotch-cli chaos [SCENARIO OPTIONS] [CHAOS OPTIONS]
 //! scotch-cli determinism [DETERMINISM OPTIONS]
+//! scotch-cli shards [SCENARIO OPTIONS] [SHARDS OPTIONS]
 //!
 //! Topology:
 //!   --scenario <datacenter|single|multirack>   (default: datacenter)
@@ -41,6 +42,10 @@
 //!   --interrack-us <N>  ToR-spine propagation in µs (widens the
 //!                       conservative lookahead window)
 //!   --rack-clients <RATE>  per-rack probe clients, flows/s each
+//!   --profile-shards    wall-clock per-lane busy/stall profiling of the
+//!                       lockstep driver (observability-only, like
+//!                       bench --profile; prints a lane table after the
+//!                       run and never perturbs the canonical report)
 //!
 //! Sweep (multi-seed batches on the shared parallel runner):
 //!   --smoke             CI preset: tiny horizons, 2 seeds, all scenarios
@@ -58,8 +63,32 @@
 //!                       1/256} x seeds on the elephant/DDoS datacenter
 //!                       scenario; KPIs cover migration-decision latency
 //!                       and monitor load (the DESIGN.md §13 figure data)
+//!   --scaling           replace the grid with the shard-scaling sweep:
+//!                       shard counts {1, 2, 4, 8} x two multirack shapes,
+//!                       each job profiled; deterministic KPIs (events,
+//!                       epochs, handoffs, hub share) plus wall-clock
+//!                       speedup/utilization in the manifest's timing
+//!                       object, and a speedup-vs-utilization table on
+//!                       stderr (DESIGN.md §15)
 //!   --quiet             suppress per-job progress lines
 //! ```
+//!
+//! Shards (execution-plane scaling report for one sharded run; accepts
+//! every top-level scenario/workload/control option above — when none are
+//! given it defaults to the determinism matrix's `multirack_parallel`
+//! shape at 2 simulated seconds — plus):
+//!   --shards <N>        shard count (values below 2 are bumped to the
+//!                       default 4; the report needs a sharded run)
+//!   --out <FILE>        also write the JSON report here
+//!   --check             warn (never fail) when the hub shard holds more
+//!                       than 60% of lane events or mean lane idle
+//!                       exceeds 50% — the CI health probe
+//!
+//! The table reports per-lane events/busy/stall/utilization, barrier-stall
+//! share, the epoch-width histogram, the inter-shard message matrix, and
+//! the hub-shard share. Sim-time columns are deterministic per
+//! `(scenario, seed, shard count)`; wall-clock columns are machine-
+//! dependent observability.
 //!
 //! Trace (flight-recorder dump of one run; accepts every top-level
 //! scenario/workload/control option above, plus):
@@ -110,6 +139,11 @@
 //!                       to N shards, and add the `multirack_sharded`
 //!                       fabric (wide lookahead, per-rack sources) to the
 //!                       measured set
+//!   --profile-shards    with --shards N: print the per-lane busy/stall
+//!                       profile of the `multirack_sharded` fabric, then
+//!                       measure the profiler's own overhead interleaved
+//!                       (profiling off vs on, median paired ratio; warns
+//!                       above 2%, exits 1 above 5%)
 //!   --sampling-rate <P> rate for the `monitor_sampled_smoke` scenario
 //!                       (default: 1/64; the exhaustive twin always runs)
 //!   --gate              exit 1 when any scenario regresses more than 10%
@@ -190,6 +224,7 @@ struct Options {
     threads: usize,
     interrack_us: Option<u64>,
     rack_clients: Option<f64>,
+    profile_shards: bool,
 }
 
 impl Default for Options {
@@ -216,6 +251,7 @@ impl Default for Options {
             threads: 0,
             interrack_us: None,
             rack_clients: None,
+            profile_shards: false,
         }
     }
 }
@@ -315,6 +351,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                         .map_err(|e| format!("--rack-clients: {e}"))?,
                 )
             }
+            "--profile-shards" => o.profile_shards = true,
             "--pcap" => {
                 let node = next(&mut i)?;
                 let file = next(&mut i)?;
@@ -941,6 +978,7 @@ struct SweepOptions {
     out: String,
     sampling_rate: Option<f64>,
     sampling_ablation: bool,
+    scaling: bool,
     quiet: bool,
 }
 
@@ -958,6 +996,7 @@ impl Default for SweepOptions {
             out: "results".into(),
             sampling_rate: None,
             sampling_ablation: false,
+            scaling: false,
             quiet: false,
         }
     }
@@ -1012,6 +1051,7 @@ fn parse_sweep_args(args: &[String]) -> Result<SweepOptions, String> {
                 o.sampling_rate = Some(parse_sampling_rate(&next(&mut i)?)?);
             }
             "--sampling-ablation" => o.sampling_ablation = true,
+            "--scaling" => o.scaling = true,
             "--quiet" => o.quiet = true,
             "--help" | "-h" => return Err("help".into()),
             other => return Err(format!("unknown sweep option {other}")),
@@ -1170,6 +1210,80 @@ fn ablation_jobs(o: &SweepOptions) -> Vec<scotch_runner::Job<()>> {
     jobs
 }
 
+/// The shard counts the `--scaling` sweep fans out.
+const SCALING_SHARDS: [usize; 4] = [1, 2, 4, 8];
+
+/// The two multirack shapes the `--scaling` sweep measures: the
+/// determinism matrix's parallel shape and the wider bench fabric.
+#[allow(clippy::type_complexity)]
+fn scaling_shapes() -> Vec<(&'static str, fn() -> Scenario)> {
+    vec![
+        ("multirack_parallel", || {
+            Scenario::multirack(4, 1)
+                .with_interrack_propagation(SimDuration::from_micros(200))
+                .with_rack_clients(150.0)
+                .with_clients(80.0)
+                .with_attack(400.0)
+        }),
+        ("multirack_fabric", || {
+            Scenario::multirack(8, 1)
+                .with_interrack_propagation(SimDuration::from_micros(200))
+                .with_rack_clients(400.0)
+                .with_clients(100.0)
+                .with_attack(2_000.0)
+        }),
+    ]
+}
+
+/// Build the `--scaling` job grid: shard counts [`SCALING_SHARDS`] x
+/// [`scaling_shapes`], every job profiled. The KPI columns (events,
+/// epochs, handoffs, hub share) are sim-time deterministic, so normalized
+/// manifests stay rerun-stable; speedup and utilization land in the
+/// per-job `timing` object, which normalized manifests strip.
+fn scaling_jobs(o: &SweepOptions) -> Vec<scotch_runner::Job<()>> {
+    let horizon = SimTime::from_secs_f64(o.duration);
+    let seed = o.seed_base;
+    let mut jobs = Vec::new();
+    for (shape, make) in scaling_shapes() {
+        for k in SCALING_SHARDS {
+            jobs.push(scotch_runner::Job::new(
+                format!("scaling/{shape}/x{k}"),
+                seed,
+                move |ctx: &mut scotch_runner::JobCtx| {
+                    let mut sim = make().build_until(seed, horizon);
+                    sim.enable_shard_profiling();
+                    let report = if k > 1 {
+                        sim.run_sharded(horizon, k, 0)
+                    } else {
+                        sim.run(horizon)
+                    };
+                    ctx.add_units(report.events_processed);
+                    let metric = |name: &str| report.metrics.get(name).unwrap_or(0.0);
+                    ctx.kpi("shards", k as f64);
+                    ctx.kpi("events", report.events_processed as f64);
+                    ctx.kpi("epochs", metric("shard.epochs"));
+                    ctx.kpi("handoffs", metric("shard.handoffs"));
+                    ctx.kpi("hub_share", metric("shard.hub_share_ppm") / 1e6);
+                    if let Some(p) = report.shard_profile.as_ref() {
+                        ctx.timing("mean_utilization", p.mean_utilization());
+                        if p.total_ns() > 0.0 {
+                            ctx.timing("barrier_frac", p.barrier_ns() / p.total_ns());
+                        }
+                    }
+                    ctx.metrics_snapshot(
+                        report
+                            .metrics
+                            .entries
+                            .iter()
+                            .map(|(name, value)| (name.as_str(), *value)),
+                    );
+                },
+            ));
+        }
+    }
+    jobs
+}
+
 fn sweep_main(args: &[String]) -> i32 {
     let opts = match parse_sweep_args(args) {
         Ok(o) => o,
@@ -1182,19 +1296,30 @@ fn sweep_main(args: &[String]) -> i32 {
             return if e == "help" { 0 } else { 2 };
         }
     };
-    let name = if opts.sampling_ablation {
+    let name = if opts.scaling {
+        "sweep-scaling"
+    } else if opts.sampling_ablation {
         "sweep-sampling-ablation"
     } else if opts.smoke {
         "sweep-smoke"
     } else {
         "sweep"
     };
-    let jobs = if opts.sampling_ablation {
+    let jobs = if opts.scaling {
+        scaling_jobs(&opts)
+    } else if opts.sampling_ablation {
         ablation_jobs(&opts)
     } else {
         sweep_jobs(&opts)
     };
-    if opts.sampling_ablation {
+    if opts.scaling {
+        eprintln!(
+            "sweep '{name}': {} job(s), {} shape(s) x shard counts {:?}",
+            jobs.len(),
+            scaling_shapes().len(),
+            SCALING_SHARDS
+        );
+    } else if opts.sampling_ablation {
         eprintln!(
             "sweep '{name}': {} job(s), {} telemetry mode(s) x {} seed(s)",
             jobs.len(),
@@ -1209,10 +1334,45 @@ fn sweep_main(args: &[String]) -> i32 {
             opts.seeds
         );
     }
+    // Scaling jobs each spawn their own lockstep workers; running them one
+    // at a time keeps the speedup numbers from fighting each other for
+    // cores (override with an explicit --threads).
+    let pool_threads = if opts.scaling && opts.threads == 0 {
+        1
+    } else {
+        opts.threads
+    };
     let sweep = scotch_runner::SweepRunner::new()
-        .threads(opts.threads)
+        .threads(pool_threads)
         .progress(!opts.quiet)
         .run(name, jobs);
+    if opts.scaling {
+        eprintln!("speedup vs utilization (wall-clock; x1 sequential is the reference):");
+        for (shape, _) in scaling_shapes() {
+            let wall_of = |k: usize| {
+                sweep
+                    .results
+                    .iter()
+                    .find(|r| r.id == format!("scaling/{shape}/x{k}"))
+                    .map(|r| (r.wall.as_secs_f64(), &r.timings))
+            };
+            let base = wall_of(1).map(|(w, _)| w);
+            for k in SCALING_SHARDS {
+                let Some((wall, timings)) = wall_of(k) else {
+                    continue;
+                };
+                let speedup = base
+                    .map(|b| format!("{:.2}x", b / wall.max(1e-9)))
+                    .unwrap_or_else(|| "-".into());
+                let util = timings
+                    .iter()
+                    .find(|(n, _)| n == "mean_utilization")
+                    .map(|(_, v)| format!("{v:.2}"))
+                    .unwrap_or_else(|| "-".into());
+                eprintln!("  {shape} x{k}: {wall:.3}s wall, speedup {speedup}, utilization {util}");
+            }
+        }
+    }
     let manifest = sweep.manifest();
     let dir = std::path::PathBuf::from(&opts.out);
     match scotch_runner::manifest::write(&dir, name, &manifest) {
@@ -1245,6 +1405,7 @@ struct BenchOptions {
     iters: u32,
     profile: bool,
     trace_overhead: bool,
+    profile_shards: bool,
     shards: usize,
     sampling_rate: f64,
     gate: bool,
@@ -1260,6 +1421,7 @@ impl Default for BenchOptions {
             iters: 3,
             profile: false,
             trace_overhead: false,
+            profile_shards: false,
             shards: 1,
             sampling_rate: 1.0 / 64.0,
             gate: false,
@@ -1285,6 +1447,7 @@ fn parse_bench_args(args: &[String]) -> Result<BenchOptions, String> {
             "--iters" => o.iters = next(&mut i)?.parse().map_err(|e| format!("--iters: {e}"))?,
             "--profile" => o.profile = true,
             "--trace-overhead" => o.trace_overhead = true,
+            "--profile-shards" => o.profile_shards = true,
             "--shards" => {
                 o.shards = next(&mut i)?
                     .parse()
@@ -1581,12 +1744,12 @@ fn bench_main(args: &[String]) -> i32 {
             let report = sim.run(horizon);
             eprintln!("{name}:");
             eprintln!(
-                "  {:<18} {:>10} {:>9} {:>9} {:>9} {:>10}",
+                "  {:<22} {:>10} {:>9} {:>9} {:>9} {:>10}",
                 "event", "count", "mean_ns", "p50_ns", "p99_ns", "total_ms"
             );
             for e in &report.profile {
                 eprintln!(
-                    "  {:<18} {:>10} {:>9.0} {:>9.0} {:>9.0} {:>10.2}",
+                    "  {:<22} {:>10} {:>9.0} {:>9.0} {:>9.0} {:>10.2}",
                     e.name,
                     e.count,
                     e.mean_ns,
@@ -1595,6 +1758,17 @@ fn bench_main(args: &[String]) -> i32 {
                     e.total_ns / 1e6
                 );
             }
+            // Top cost centers at a glance, including the refined rows
+            // (tunnel transit, PacketIn, FlowMod) that split the hottest
+            // dispatch kinds by what actually happened inside them.
+            let mut by_total: Vec<_> = report.profile.iter().filter(|e| e.count > 0).collect();
+            by_total.sort_by(|a, b| b.total_ns.total_cmp(&a.total_ns));
+            let top: Vec<String> = by_total
+                .iter()
+                .take(3)
+                .map(|e| format!("{} {:.2}ms", e.name, e.total_ns / 1e6))
+                .collect();
+            eprintln!("  top kinds by total: {}", top.join(", "));
         }
     }
 
@@ -1630,6 +1804,35 @@ fn bench_main(args: &[String]) -> i32 {
             eprintln!(
                 "warning: journey-tracing overhead {worst_journey:.1}% exceeds the 2% budget"
             );
+        }
+    }
+
+    if opts.profile_shards {
+        if opts.shards < 2 {
+            eprintln!("error: --profile-shards needs --shards N (N >= 2)");
+            return 2;
+        }
+        // Lane profile of the sharded fabric, then the profiler's own cost
+        // measured under the same interleaved median-paired-ratio
+        // discipline as the tracing/journey gates above.
+        let (name, make, horizon) = sharded_bench_scenario();
+        let mut sim = make().build_until(HOTPATH_SEED, horizon);
+        sim.enable_shard_profiling();
+        let sizes =
+            scotch_net::Partition::by_regions(sim.topo.node_count(), &sim.regions, opts.shards)
+                .shard_sizes();
+        let report = sim.run_sharded(horizon, opts.shards, 0);
+        eprintln!("shard profile ({name}, {} shards):", opts.shards);
+        print_shard_report(&report, &sizes);
+
+        let ratio = shard_profile_overhead(&*make, horizon, opts.shards, opts.iters.max(5));
+        let pct = (ratio - 1.0) * 100.0;
+        eprintln!("shard-profiling overhead ({name}): {pct:+.1}% (median paired ratio)");
+        if pct > 5.0 {
+            eprintln!("error: shard-profiling overhead {pct:.1}% exceeds the 5% hard budget");
+            return 1;
+        } else if pct > 2.0 {
+            eprintln!("warning: shard-profiling overhead {pct:.1}% exceeds the 2% budget");
         }
     }
     if opts.gate && regressed {
@@ -1685,6 +1888,35 @@ fn overhead_walls(
     };
     let [trace_ratios, journey_ratios] = ratios;
     (best, [median(trace_ratios), median(journey_ratios)])
+}
+
+/// Interleaved overhead of `--profile-shards` on one sharded scenario:
+/// profiling-off and profiling-on run back-to-back each iteration, and the
+/// gate reads the median paired on/off wall-time ratio (the PR 8
+/// discipline — per-iteration pairing cancels machine-wide slowdowns, the
+/// median discards outliers).
+fn shard_profile_overhead(
+    make: &dyn Fn() -> Scenario,
+    horizon: SimTime,
+    shards: usize,
+    iters: u32,
+) -> f64 {
+    let mut ratios = Vec::with_capacity(iters as usize);
+    for _ in 0..iters {
+        let mut wall = [0.0f64; 2];
+        for (slot, profiled) in [(0, false), (1, true)] {
+            let mut sim = make().build_until(HOTPATH_SEED, horizon);
+            if profiled {
+                sim.enable_shard_profiling();
+            }
+            let start = std::time::Instant::now();
+            let _ = sim.run_sharded(horizon, shards, 0);
+            wall[slot] = start.elapsed().as_secs_f64();
+        }
+        ratios.push(wall[1] / wall[0].max(1e-9));
+    }
+    ratios.sort_by(f64::total_cmp);
+    ratios[ratios.len() / 2]
 }
 
 /// Parsed chaos-specific flags (everything else is forwarded to
@@ -1897,8 +2129,9 @@ fn chaos_main(args: &[String]) -> i32 {
                 return 1;
             }
             println!(
-                "chaos: canonical report identical at --shards {}",
-                opts.shards
+                "chaos: canonical report identical at --shards {}{}",
+                opts.shards,
+                lane_balance_suffix(&sharded)
             );
         }
         if outcome.violations.is_empty() {
@@ -2120,11 +2353,12 @@ fn determinism_main(args: &[String]) -> i32 {
     for (name, make) in determinism_cases(plan) {
         let base = make().run(horizon, DETERMINISM_SEED).canonical_json();
         for &k in &opts.shards {
-            let got = make()
-                .run_sharded(horizon, DETERMINISM_SEED, k, opts.threads)
-                .canonical_json();
-            if got == base {
-                println!("determinism: {name} --shards {k}: ok");
+            let rep = make().run_sharded(horizon, DETERMINISM_SEED, k, opts.threads);
+            if rep.canonical_json() == base {
+                println!(
+                    "determinism: {name} --shards {k}: ok{}",
+                    lane_balance_suffix(&rep)
+                );
             } else {
                 diverged += 1;
                 eprintln!("determinism: {name} --shards {k}: DIVERGED");
@@ -2161,6 +2395,348 @@ fn determinism_main(args: &[String]) -> i32 {
     }
 }
 
+/// Parsed `shards` subcommand flags (everything else is forwarded to
+/// [`parse_args`]).
+#[derive(Debug, Clone, Default, PartialEq)]
+struct ShardsOptions {
+    out: Option<String>,
+    check: bool,
+}
+
+/// Split a `shards` command line into shards flags and scenario flags.
+fn parse_shards_args(args: &[String]) -> Result<(ShardsOptions, Vec<String>), String> {
+    let mut s = ShardsOptions::default();
+    let mut rest = Vec::new();
+    let mut i = 0;
+    let next = |i: &mut usize| -> Result<String, String> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("missing value after {}", args[*i - 1]))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => s.out = Some(next(&mut i)?),
+            "--check" => s.check = true,
+            other => rest.push(other.to_string()),
+        }
+        i += 1;
+    }
+    Ok((s, rest))
+}
+
+/// The `shards` subcommand's default workload when no scenario flags are
+/// given: the determinism matrix's `multirack_parallel` shape, which
+/// genuinely partitions at every shard count the CI matrix checks.
+fn default_shards_options() -> Options {
+    Options {
+        scenario: "multirack".into(),
+        racks: 4,
+        mesh: 1,
+        interrack_us: Some(200),
+        rack_clients: Some(150.0),
+        clients: 80.0,
+        attack: Some(400.0),
+        duration: 2.0,
+        ..Options::default()
+    }
+}
+
+/// Warn-threshold for the hub shard's share of lane events (`--check`).
+const HUB_SHARE_WARN: f64 = 0.60;
+/// Warn-threshold for mean lane idle (1 − mean utilization) (`--check`).
+const LANE_IDLE_WARN: f64 = 0.50;
+
+/// Assemble the machine-readable scaling report for one sharded run:
+/// deterministic sim-time telemetry (lanes, epochs, epoch-width quantiles,
+/// inter-shard message matrix, hub share) plus the wall-clock lane profile
+/// when `--profile-shards` ran.
+fn shard_report_json(
+    report: &scotch::Report,
+    shard_sizes: &[usize],
+    scenario: &str,
+    seed: u64,
+) -> scotch_runner::Json {
+    use scotch_runner::Json;
+    let metric = |name: &str| report.metrics.get(name).unwrap_or(0.0);
+    let m = metric("shard.lanes") as usize;
+    let mut lanes = Vec::with_capacity(m);
+    let rows = report
+        .shard_profile
+        .as_ref()
+        .map(|p| p.lane_rows())
+        .unwrap_or_default();
+    for s in 0..m {
+        let mut lane = Json::obj()
+            .set("lane", s)
+            .set("nodes", shard_sizes.get(s).copied().unwrap_or(0))
+            .set("events", metric(&format!("shard.lane.{s}.events")));
+        if let Some(r) = rows.get(s) {
+            lane = lane
+                .set("busy_ms", r.busy_ns / 1e6)
+                .set("stall_ms", r.stall_ns / 1e6)
+                .set("utilization", r.utilization)
+                .set("util_p50", r.util_p50)
+                .set("util_p99", r.util_p99)
+                .set("critical_epochs", r.critical_epochs);
+        }
+        lanes.push(lane);
+    }
+    let xmsgs: Vec<Json> = (0..m)
+        .map(|src| {
+            Json::Arr(
+                (0..m)
+                    .map(|dst| Json::from(metric(&format!("shard.xmsgs.{src}.{dst}"))))
+                    .collect(),
+            )
+        })
+        .collect();
+    let mut doc = Json::obj()
+        .set("schema", "scotch-shard-report/v1")
+        .set("scenario", scenario)
+        .set("seed", seed)
+        .set("shards", m)
+        .set("epochs", metric("shard.epochs"))
+        .set("centrals", metric("shard.centrals"))
+        .set(
+            "epoch_width_ns",
+            Json::obj()
+                .set("mean", metric("shard.epoch_width_ns.mean"))
+                .set("p50", metric("shard.epoch_width_ns.p50"))
+                .set("p99", metric("shard.epoch_width_ns.p99"))
+                .set("max", metric("shard.epoch_width_ns.max")),
+        )
+        .set("handoffs", metric("shard.handoffs"))
+        .set("hub_share", metric("shard.hub_share_ppm") / 1e6)
+        .set("lanes", Json::Arr(lanes))
+        .set("xmsgs", Json::Arr(xmsgs));
+    if let Some(p) = report.shard_profile.as_ref() {
+        doc = doc.set(
+            "wall",
+            Json::obj()
+                .set("barrier_ms", p.barrier_ns() / 1e6)
+                .set("total_ms", p.total_ns() / 1e6)
+                .set(
+                    "barrier_frac",
+                    if p.total_ns() > 0.0 {
+                        p.barrier_ns() / p.total_ns()
+                    } else {
+                        0.0
+                    },
+                )
+                .set("mean_utilization", p.mean_utilization()),
+        );
+    }
+    doc
+}
+
+/// Print the human-readable scaling report (the table twin of
+/// [`shard_report_json`]).
+fn print_shard_report(report: &scotch::Report, shard_sizes: &[usize]) {
+    let metric = |name: &str| report.metrics.get(name).unwrap_or(0.0);
+    let m = metric("shard.lanes") as usize;
+    println!(
+        "shard scaling report: {m} lanes, {} epochs (width p50 {}, p99 {}), {} handoffs",
+        metric("shard.epochs") as u64,
+        fmt_ns(metric("shard.epoch_width_ns.p50") as u64),
+        fmt_ns(metric("shard.epoch_width_ns.p99") as u64),
+        metric("shard.handoffs") as u64,
+    );
+    println!(
+        "hub share: {:.1}% of lane events (lane 0 runs spine + controller)",
+        metric("shard.hub_share_ppm") / 1e4
+    );
+    let rows = report
+        .shard_profile
+        .as_ref()
+        .map(|p| p.lane_rows())
+        .unwrap_or_default();
+    println!(
+        "  {:>5} {:>6} {:>10} {:>10} {:>10} {:>6} {:>8} {:>9}",
+        "lane", "nodes", "events", "busy_ms", "stall_ms", "util", "util_p99", "critical"
+    );
+    for s in 0..m {
+        let events = metric(&format!("shard.lane.{s}.events")) as u64;
+        let nodes = shard_sizes.get(s).copied().unwrap_or(0);
+        let tag = if s == 0 {
+            "0*".to_string()
+        } else {
+            s.to_string()
+        };
+        match rows.get(s) {
+            Some(r) => println!(
+                "  {tag:>5} {nodes:>6} {events:>10} {:>10.2} {:>10.2} {:>6.2} {:>8.2} {:>9}",
+                r.busy_ns / 1e6,
+                r.stall_ns / 1e6,
+                r.utilization,
+                r.util_p99,
+                r.critical_epochs
+            ),
+            None => println!(
+                "  {tag:>5} {nodes:>6} {events:>10} {:>10} {:>10} {:>6} {:>8} {:>9}",
+                "-", "-", "-", "-", "-"
+            ),
+        }
+    }
+    if let Some(p) = report.shard_profile.as_ref() {
+        let frac = if p.total_ns() > 0.0 {
+            p.barrier_ns() / p.total_ns()
+        } else {
+            0.0
+        };
+        println!(
+            "barrier wall: {:.1}ms of {:.1}ms total ({:.1}%), mean lane utilization {:.2}",
+            p.barrier_ns() / 1e6,
+            p.total_ns() / 1e6,
+            frac * 100.0,
+            p.mean_utilization()
+        );
+    }
+    if metric("shard.handoffs") > 0.0 {
+        println!("inter-shard messages (src row -> dst column):");
+        print!("  {:>5}", "");
+        for dst in 0..m {
+            print!(" {:>9}", format!("d{dst}"));
+        }
+        println!();
+        for src in 0..m {
+            print!("  {:>5}", format!("s{src}"));
+            for dst in 0..m {
+                let n = metric(&format!("shard.xmsgs.{src}.{dst}")) as u64;
+                if src == dst {
+                    print!(" {:>9}", "-");
+                } else {
+                    print!(" {n:>9}");
+                }
+            }
+            println!();
+        }
+    }
+}
+
+/// Compact per-lane balance tail for `determinism` / `chaos --shards`
+/// lines: `" (lanes [a, b, ...] events, hub 42%)"`. Empty when the run fell
+/// back to sequential (no `shard.*` telemetry in the report).
+fn lane_balance_suffix(report: &scotch::Report) -> String {
+    let Some(lanes) = report.metrics.get("shard.lanes") else {
+        return String::new();
+    };
+    let events: Vec<String> = (0..lanes as usize)
+        .map(|s| {
+            report
+                .metrics
+                .get(&format!("shard.lane.{s}.events"))
+                .map_or_else(|| "?".into(), |v| format!("{}", v as u64))
+        })
+        .collect();
+    let hub = report
+        .metrics
+        .get("shard.hub_share_ppm")
+        .map_or_else(String::new, |ppm| format!(", hub {:.0}%", ppm / 10_000.0));
+    format!(" (lanes [{}] events{hub})", events.join(", "))
+}
+
+/// `--check`: warn-only health probe over the scaling report. Returns the
+/// warning lines (empty = healthy); the caller prints them and still
+/// exits 0.
+fn shard_check_warnings(report: &scotch::Report) -> Vec<String> {
+    let metric = |name: &str| report.metrics.get(name).unwrap_or(0.0);
+    let mut warnings = Vec::new();
+    let hub_share = metric("shard.hub_share_ppm") / 1e6;
+    if hub_share > HUB_SHARE_WARN {
+        warnings.push(format!(
+            "hub shard holds {:.1}% of lane events (> {:.0}%): the spine/controller \
+             lane is the serial bottleneck at this shard count",
+            hub_share * 100.0,
+            HUB_SHARE_WARN * 100.0
+        ));
+    }
+    if let Some(p) = report.shard_profile.as_ref() {
+        let idle = 1.0 - p.mean_utilization();
+        if p.epochs() > 0 && idle > LANE_IDLE_WARN {
+            warnings.push(format!(
+                "mean lane idle {:.1}% (> {:.0}%): lanes mostly wait at barriers — \
+                 widen the lookahead or lower the shard count",
+                idle * 100.0,
+                LANE_IDLE_WARN * 100.0
+            ));
+        }
+    }
+    warnings
+}
+
+fn shards_main(args: &[String]) -> i32 {
+    let usage = || {
+        eprintln!("usage: scotch-cli shards [SCENARIO OPTIONS] [--out FILE] [--check]");
+        eprintln!("       (defaults to the multirack_parallel determinism shape, 4 shards)");
+    };
+    let (sopts, rest) = match parse_shards_args(args) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            usage();
+            return 2;
+        }
+    };
+    let mut opts = if rest.is_empty() {
+        default_shards_options()
+    } else {
+        match parse_args(&rest) {
+            Ok(o) => o,
+            Err(e) => {
+                if e != "help" {
+                    eprintln!("error: {e}\n");
+                }
+                usage();
+                return if e == "help" { 0 } else { 2 };
+            }
+        }
+    };
+    if opts.shards < 2 {
+        opts.shards = 4;
+    }
+
+    let horizon = SimTime::from_secs_f64(opts.duration);
+    let mut sim = build_scenario(&opts).build_until(opts.seed, horizon);
+    sim.enable_shard_profiling();
+    let shard_sizes =
+        scotch_net::Partition::by_regions(sim.topo.node_count(), &sim.regions, opts.shards)
+            .shard_sizes();
+    let report = sim.run_sharded(horizon, opts.shards, opts.threads);
+    if report.metrics.get("shard.lanes").is_none() {
+        eprintln!(
+            "error: the run fell back to sequential execution (scenario '{}' cannot \
+             shard); no scaling report to print",
+            opts.scenario
+        );
+        return 1;
+    }
+
+    let doc = shard_report_json(&report, &shard_sizes, &opts.scenario, opts.seed);
+    if opts.json {
+        println!("{}", doc.pretty());
+    } else {
+        print_shard_report(&report, &shard_sizes);
+    }
+    if let Some(path) = &sopts.out {
+        if let Err(e) = std::fs::write(path, doc.pretty()) {
+            eprintln!("error: failed to write {path}: {e}");
+            return 1;
+        }
+        eprintln!("wrote scaling report to {path}");
+    }
+    if sopts.check {
+        let warnings = shard_check_warnings(&report);
+        for w in &warnings {
+            eprintln!("warning: {w}");
+        }
+        if warnings.is_empty() {
+            eprintln!("check: shard health ok");
+        }
+    }
+    0
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("trace") {
@@ -2171,6 +2747,9 @@ fn main() {
     }
     if args.first().map(String::as_str) == Some("determinism") {
         std::process::exit(determinism_main(&args[1..]));
+    }
+    if args.first().map(String::as_str) == Some("shards") {
+        std::process::exit(shards_main(&args[1..]));
     }
     if args.first().map(String::as_str) == Some("chaos") {
         std::process::exit(chaos_main(&args[1..]));
@@ -2209,7 +2788,15 @@ fn main() {
     // The sharded engine clamps non-partitionable scenarios to the
     // sequential path itself; the trace workload clamp mirrors
     // `Scenario::run_sharded` (multi-host sources cannot be partitioned).
-    let report = if opts.shards > 1 && opts.trace.is_none() {
+    let sharded = opts.shards > 1 && opts.trace.is_none();
+    if opts.profile_shards && sharded {
+        sim.enable_shard_profiling();
+    }
+    let shard_sizes = (opts.profile_shards && sharded).then(|| {
+        scotch_net::Partition::by_regions(sim.topo.node_count(), &sim.regions, opts.shards)
+            .shard_sizes()
+    });
+    let report = if sharded {
         sim.run_sharded(horizon, opts.shards, opts.threads)
     } else {
         sim.run(horizon)
@@ -2265,6 +2852,16 @@ fn main() {
             println!("mean client flow completion time: {:.4}s", fct);
         }
     }
+    if let Some(sizes) = shard_sizes {
+        if report.metrics.get("shard.lanes").is_some() {
+            print_shard_report(&report, &sizes);
+        } else {
+            eprintln!(
+                "note: --profile-shards had no effect (the run fell back to \
+                 sequential execution)"
+            );
+        }
+    }
 }
 
 #[cfg(test)]
@@ -2305,6 +2902,43 @@ mod tests {
     fn attack_window_pairs() {
         let o = parse("--attack 2000 --attack-window 1 4").unwrap();
         assert_eq!(o.attack_window, Some((1.0, 4.0)));
+    }
+
+    #[test]
+    fn profile_shards_flag_parses() {
+        let o = parse("--shards 4 --profile-shards").unwrap();
+        assert_eq!(o.shards, 4);
+        assert!(o.profile_shards);
+        assert!(!parse("").unwrap().profile_shards);
+    }
+
+    #[test]
+    fn shards_flags_split_from_scenario_flags() {
+        let args: Vec<String> = "--out shards.json --check --scenario multirack --racks 8"
+            .split_whitespace()
+            .map(String::from)
+            .collect();
+        let (s, rest) = parse_shards_args(&args).unwrap();
+        assert_eq!(s.out.as_deref(), Some("shards.json"));
+        assert!(s.check);
+        assert_eq!(rest, ["--scenario", "multirack", "--racks", "8"]);
+    }
+
+    #[test]
+    fn default_shards_options_build_a_partitionable_scenario() {
+        let o = default_shards_options();
+        assert_eq!(o.scenario, "multirack");
+        let sim = build_scenario(&o).build(1);
+        assert!(sim.regions.len() > 1, "shards default needs rack regions");
+    }
+
+    #[test]
+    fn scaling_sweep_flag_and_grid() {
+        let args: Vec<String> = vec!["--scaling".into()];
+        let o = parse_sweep_args(&args).unwrap();
+        assert!(o.scaling);
+        let jobs = scaling_jobs(&o);
+        assert_eq!(jobs.len(), scaling_shapes().len() * SCALING_SHARDS.len());
     }
 
     #[test]

@@ -162,6 +162,11 @@ pub struct Report {
     /// [`crate::Simulation::enable_profiling`] was called. Wall-clock ⇒
     /// machine-dependent ⇒ never in the canonical report.
     pub profile: Vec<ProfileEntry>,
+    /// Per-lane busy/stall wall-clock profile of a sharded run, `Some`
+    /// only when [`crate::Simulation::enable_shard_profiling`] was called
+    /// and the run actually sharded. Wall-clock ⇒ machine-dependent ⇒
+    /// never in the canonical report.
+    pub shard_profile: Option<scotch_sim::EpochProfiler>,
 }
 
 impl Report {

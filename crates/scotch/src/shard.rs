@@ -46,7 +46,7 @@ use scotch_net::{FlowId, FlowKey, IpAddr, NodeId, NodeMap, Packet, Partition};
 use scotch_sim::fault::{FaultEvent, FaultKind};
 use scotch_sim::metrics::Histogram;
 use scotch_sim::trace::{TraceEvent, TraceRecorder};
-use scotch_sim::{FxHashMap, SimDuration, SimTime};
+use scotch_sim::{EpochProfiler, FxHashMap, SimDuration, SimTime};
 
 impl Simulation {
     /// Run until `until` on up to `shards` conservative shards, using up to
@@ -138,6 +138,20 @@ struct Driver {
     /// Central events applied (they count toward `events_processed` exactly
     /// like their sequential pops).
     centrals: u64,
+    /// Epochs granted so far (each `Some(end)` from [`Driver::barrier`]).
+    epochs: u64,
+    /// Sim-time width of each granted epoch, ns. Deterministic per
+    /// `(scenario, seed, shard count)` — folded into the metrics registry.
+    epoch_width: Histogram,
+    /// Inter-shard message matrix, `src * shards + dst`, counting outbox
+    /// entries generated on one shard and delivered to another (diagonal
+    /// entries — shard-local canonical re-enqueues — are not counted).
+    xmsgs: Vec<u64>,
+    /// Total lane pops at the last closed epoch (for per-epoch deltas).
+    last_pops: u64,
+    /// Wall-clock per-lane busy/stall profile, present only under
+    /// `--profile-shards`. Never touches simulation state.
+    profiler: Option<EpochProfiler>,
 }
 
 impl Driver {
@@ -145,6 +159,9 @@ impl Driver {
     /// events (and re-barrier) or name the next epoch bound. `None` ends
     /// the run.
     fn barrier(&mut self, lanes: &mut [Simulation]) -> Option<SimTime> {
+        if self.epochs > 0 {
+            self.close_epoch(lanes);
+        }
         loop {
             self.flush_outboxes(lanes);
             self.drain_journal(lanes);
@@ -180,7 +197,46 @@ impl Driver {
             }
             end = end.min(self.until + SimDuration::from_nanos(1));
             self.watermark = end;
+            let width = end.duration_since(lm);
+            self.epoch_width.record(width.as_nanos() as f64);
+            lanes[0].app.trace.record(
+                lm,
+                TraceEvent::EpochOpened {
+                    epoch: self.epochs as u32,
+                    width: width.as_nanos(),
+                },
+            );
+            self.epochs += 1;
             return Some(end);
+        }
+    }
+
+    /// Book-keeping for the epoch that ended at the current watermark:
+    /// a per-epoch event-count trace record, and (under `--profile-shards`)
+    /// one wall-clock busy sample per lane.
+    fn close_epoch(&mut self, lanes: &mut [Simulation]) {
+        let pops: u64 = lanes
+            .iter()
+            .map(|l| l.shard.as_ref().expect("lane has shard ctx").pops)
+            .sum();
+        let delta = pops - self.last_pops;
+        self.last_pops = pops;
+        lanes[0].app.trace.record(
+            self.watermark,
+            TraceEvent::EpochClosed {
+                epoch: (self.epochs - 1) as u32,
+                events: delta,
+            },
+        );
+        if let Some(p) = self.profiler.as_mut() {
+            let busy: Vec<f64> = lanes
+                .iter_mut()
+                .map(|l| {
+                    let ctx = l.shard.as_mut().expect("lane has shard ctx");
+                    std::mem::replace(&mut ctx.epoch_busy_ns, 0.0)
+                })
+                .collect();
+            p.record_epoch(&busy);
         }
     }
 
@@ -197,6 +253,14 @@ impl Driver {
         entries.sort_by(|a, b| {
             (a.deliver, a.gen, a.class, a.origin).cmp(&(b.deliver, b.gen, b.class, b.origin))
         });
+        let m = self.part.shards() as usize;
+        // Per-flush (src, dst) handoff tallies, recorded as Verbose trace
+        // events only when the hub recorder wants them.
+        let trace_handoffs = lanes[0].app.trace.wants(
+            scotch_sim::trace::TraceCategory::Shard,
+            scotch_sim::trace::TraceLevel::Verbose,
+        );
+        let mut flush_matrix = vec![0u32; if trace_handoffs { m * m } else { 0 }];
         for e in entries {
             debug_assert!(
                 e.deliver >= self.watermark,
@@ -211,7 +275,35 @@ impl Driver {
                 Event::CtrlToSwitch { to, .. } => self.part.shard_of(*to),
                 _ => unreachable!("only packet/control events cross shards"),
             } as usize;
+            let src = if e.origin == u32::MAX {
+                0
+            } else {
+                self.part.shard_of(NodeId(e.origin)) as usize
+            };
+            if src != dest {
+                self.xmsgs[src * m + dest] += 1;
+                if trace_handoffs {
+                    flush_matrix[src * m + dest] += 1;
+                }
+            }
             lanes[dest].events.push(e.deliver, e.ev);
+        }
+        if trace_handoffs {
+            for src in 0..m {
+                for dst in 0..m {
+                    let events = flush_matrix[src * m + dst];
+                    if events > 0 {
+                        lanes[0].app.trace.record(
+                            self.watermark,
+                            TraceEvent::ShardHandoff {
+                                src: src as u32,
+                                dst: dst as u32,
+                                events,
+                            },
+                        );
+                    }
+                }
+            }
         }
     }
 
@@ -674,6 +766,7 @@ fn run(mut sim: Simulation, until: SimTime, shards: usize, threads: usize) -> Re
     let sweep_interval = sim.sweep_interval;
     let registry = sim.registry;
     let profiler = sim.profiler;
+    let shard_profiling = sim.shard_profiling;
     let latency = sim.latency;
 
     let mut clones = Vec::with_capacity(m - 1);
@@ -707,6 +800,8 @@ fn run(mut sim: Simulation, until: SimTime, shards: usize, threads: usize) -> Re
             sweep_pops: 0,
             pops: 0,
             ctrl_latency: ctrl_latency.clone(),
+            epoch_busy_ns: 0.0,
+            profile: shard_profiling,
         });
         lanes.push(lane);
     }
@@ -756,20 +851,39 @@ fn run(mut sim: Simulation, until: SimTime, shards: usize, threads: usize) -> Re
         overlay_version: lanes[0].app.overlay.version,
         watermark: SimTime::ZERO,
         centrals: 0,
+        epochs: 0,
+        epoch_width: Histogram::new(),
+        xmsgs: vec![0u64; m * m],
+        last_pops: 0,
+        profiler: shard_profiling.then(|| EpochProfiler::new(m)),
     };
 
     let threads = if threads == 0 { m } else { threads.min(m) };
-    let mut lanes = scotch_runner::lockstep(
+    let (mut lanes, stats) = scotch_runner::lockstep_timed(
         lanes,
         threads,
         |lanes| driver.barrier(lanes),
         |_, lane, bound| {
+            let t0 = lane
+                .shard
+                .as_ref()
+                .is_some_and(|c| c.profile)
+                .then(std::time::Instant::now);
             let n = lane.run_epoch(bound);
             if let Some(ctx) = lane.shard.as_mut() {
                 ctx.pops += n;
+                if let Some(t0) = t0 {
+                    ctx.epoch_busy_ns += t0.elapsed().as_nanos() as f64;
+                }
             }
         },
     );
+    if let Some(p) = driver.profiler.as_mut() {
+        p.set_walls(
+            stats.barrier_wall.as_nanos() as f64,
+            (stats.barrier_wall + stats.epoch_wall).as_nanos() as f64,
+        );
+    }
 
     // End of run: reconcile chaos in-flight tallies, then fold every lane
     // back into the hub and emit the canonical report from there.
@@ -780,9 +894,11 @@ fn run(mut sim: Simulation, until: SimTime, shards: usize, threads: usize) -> Re
     }
     let mut lane_pops = 0u64;
     let mut dup_sweeps = 0u64;
+    let mut lane_events = vec![0u64; m];
     for (s, lane) in lanes.iter().enumerate() {
         let ctx = lane.shard.as_ref().expect("lane has shard ctx");
         lane_pops += ctx.pops;
+        lane_events[s] = ctx.pops;
         if s > 0 {
             dup_sweeps += ctx.sweep_pops;
         }
@@ -839,6 +955,40 @@ fn run(mut sim: Simulation, until: SimTime, shards: usize, threads: usize) -> Re
     hub.tracked = driver.tracked;
     hub.misrouted += driver.misrouted;
     hub.shard = None;
+
+    // Execution-plane telemetry: sim-time shard accounting, deterministic
+    // per `(scenario, seed, shard count)`. Folded only here, so sequential
+    // runs never export `shard.*` keys (mirroring the `chaos.*` gating) and
+    // the canonical report — which excludes the registry — is untouched.
+    {
+        let reg = &mut hub.registry;
+        reg.add("shard.lanes", m as u64);
+        reg.add("shard.epochs", driver.epochs);
+        reg.add("shard.centrals", driver.centrals);
+        // Hub-shard control-work share, in parts per million of all lane
+        // pops (the hub runs the controller, so this is the serial-bottleneck
+        // indicator of a scaling report).
+        if let Some(ppm) = (lane_events[0] * 1_000_000).checked_div(lane_pops) {
+            reg.add("shard.hub_share_ppm", ppm);
+        }
+        for (s, &ev) in lane_events.iter().enumerate() {
+            reg.add(&format!("shard.lane.{s}.events"), ev);
+        }
+        let mut handoffs = 0u64;
+        for src in 0..m {
+            for dst in 0..m {
+                let n = driver.xmsgs[src * m + dst];
+                if src != dst && n > 0 {
+                    handoffs += n;
+                    reg.add(&format!("shard.xmsgs.{src}.{dst}"), n);
+                }
+            }
+        }
+        reg.add("shard.handoffs", handoffs);
+        let h = reg.histogram("shard.epoch_width_ns");
+        *reg.histogram_mut(h) = driver.epoch_width;
+    }
+    hub.epoch_profiler = driver.profiler;
     hub.into_report(until, events_processed)
 }
 

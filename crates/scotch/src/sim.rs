@@ -19,7 +19,8 @@ use scotch_sim::journey::{
 use scotch_sim::metrics::Histogram;
 use scotch_sim::trace::{TraceEvent, TraceRecorder};
 use scotch_sim::{
-    DispatchProfiler, EventQueue, FxHashMap, MetricsRegistry, SimDuration, SimRng, SimTime,
+    DispatchProfiler, EpochProfiler, EventQueue, FxHashMap, MetricsRegistry, SimDuration, SimRng,
+    SimTime,
 };
 use scotch_switch::middlebox::{MbVerdict, Middlebox};
 use scotch_switch::{DropReason, Output, PhysicalSwitch, VSwitch};
@@ -92,9 +93,13 @@ pub(crate) enum Event {
     ClearControllerStall,
 }
 
-/// Display names for [`Event`] variants, indexed by [`Event::kind`] — the
-/// row labels of the dispatch-cost profile.
-const EVENT_KIND_NAMES: [&str; 18] = [
+/// Dispatch-profile row labels: the 18 [`Event`] kinds plus refined rows
+/// that split the hottest variants by what actually happened inside them.
+/// An `Arrive` that label-switches through a tunnel takes a very different
+/// path from one that hits a device table; a `CtrlFromSwitch` carrying a
+/// PacketIn is the controller's hot path while an echo is bookkeeping.
+/// Handlers reclassify by overwriting [`Simulation::profile_kind`].
+const PROFILE_KIND_NAMES: [&str; 21] = [
     "arrive",
     "emit_packet",
     "source_next",
@@ -113,10 +118,21 @@ const EVENT_KIND_NAMES: [&str; 18] = [
     "clear_link_degrade",
     "clear_ofa_slowdown",
     "clear_controller_stall",
+    "arrive_tunnel_transit",
+    "ctrl_packet_in",
+    "ctrl_flowmod",
 ];
 
+/// Refined profile row: `Arrive` resolved by tunnel label switching.
+const PROFILE_KIND_TUNNEL_TRANSIT: usize = 18;
+/// Refined profile row: `CtrlFromSwitch` carrying a PacketIn.
+const PROFILE_KIND_PACKET_IN: usize = 19;
+/// Refined profile row: `CtrlToSwitch` carrying a FlowMod.
+const PROFILE_KIND_FLOWMOD: usize = 20;
+
 impl Event {
-    /// Dense variant index (matches [`EVENT_KIND_NAMES`]).
+    /// Dense variant index (matches the first 18 rows of
+    /// [`PROFILE_KIND_NAMES`]).
     pub(crate) fn kind(&self) -> usize {
         match self {
             Event::Arrive { .. } => 0,
@@ -397,6 +413,13 @@ pub(crate) struct ShardCtx {
     /// commands to switches owned by other shards, whose profiles are not
     /// in its local device maps.
     pub(crate) ctrl_latency: std::sync::Arc<Vec<SimDuration>>,
+    /// Wall-clock nanoseconds this lane spent executing the current epoch,
+    /// harvested (and reset) by the driver at each barrier. Only stamped
+    /// when `profile` is set.
+    pub(crate) epoch_busy_ns: f64,
+    /// `--profile-shards`: stamp `epoch_busy_ns` around each epoch. One
+    /// predicted branch per epoch (not per event) when off.
+    pub(crate) profile: bool,
 }
 
 fn origin_class(kind: NodeKind) -> u8 {
@@ -466,6 +489,16 @@ pub struct Simulation {
     /// Optional wall-clock dispatch-cost profiler (`bench hotpath
     /// --profile`). Never enabled on golden-report paths.
     pub(crate) profiler: Option<DispatchProfiler>,
+    /// Profile row for the event being dispatched. Seeded with the event's
+    /// kind; handlers overwrite it with a refined row (tunnel transit,
+    /// PacketIn, FlowMod). Only written when the profiler is active.
+    pub(crate) profile_kind: usize,
+    /// `--profile-shards`: ask sharded execution to attach an
+    /// [`EpochProfiler`] to the lockstep driver. Ignored sequentially.
+    pub(crate) shard_profiling: bool,
+    /// Per-lane busy/stall profile of a sharded run, filled in by the
+    /// driver at merge-back when `shard_profiling` was set.
+    pub(crate) epoch_profiler: Option<EpochProfiler>,
     /// Controller→switch messages sent, by message kind (dense arrays on
     /// the dispatch path; exported as `controller.tx.<kind>` at report
     /// time).
@@ -525,6 +558,9 @@ impl Simulation {
             sweep_interval: SimDuration::from_secs(1),
             registry: MetricsRegistry::new(),
             profiler: None,
+            profile_kind: 0,
+            shard_profiling: false,
+            epoch_profiler: None,
             ctrl_tx: [0; 6],
             ctrl_rx: [0; 6],
             fault_plan: Vec::new(),
@@ -539,7 +575,16 @@ impl Simulation {
     /// observability-only output ([`Report::profile`]); it never feeds the
     /// canonical report, so enabling it cannot perturb golden fixtures.
     pub fn enable_profiling(&mut self) {
-        self.profiler = Some(DispatchProfiler::new(EVENT_KIND_NAMES.to_vec()));
+        self.profiler = Some(DispatchProfiler::new(PROFILE_KIND_NAMES.to_vec()));
+    }
+
+    /// Ask sharded execution to profile per-lane busy vs. barrier-stall
+    /// wall time (`--profile-shards`). Observability-only, like
+    /// [`Simulation::enable_profiling`]: the numbers surface in
+    /// [`Report::shard_profile`] and never feed the canonical report.
+    /// Sequential runs ignore it.
+    pub fn enable_shard_profiling(&mut self) {
+        self.shard_profiling = true;
     }
 
     /// Attach a physical switch device at its node.
@@ -1318,6 +1363,9 @@ impl Simulation {
                     if endpoint != Some(node) {
                         if let Some(next) = self.app.overlay.tunnels.next_hop(t, node) {
                             if let Some(out) = self.topo.port_towards(node, next) {
+                                if self.profiler.is_some() {
+                                    self.profile_kind = PROFILE_KIND_TUNNEL_TRANSIT;
+                                }
                                 self.transmit(now, node, out, packet);
                                 return;
                             }
@@ -1581,10 +1629,10 @@ impl Simulation {
     pub(crate) fn process_event(&mut self, now: SimTime, ev: Event) {
         // The profiler is `None` on every measured path; the stamp is a
         // single well-predicted branch per event when disabled.
-        let prof = self
-            .profiler
-            .as_ref()
-            .map(|_| (ev.kind(), std::time::Instant::now()));
+        let prof = self.profiler.as_ref().map(|_| std::time::Instant::now());
+        if prof.is_some() {
+            self.profile_kind = ev.kind();
+        }
         match ev {
             Event::Arrive { node, port, packet } => self.on_arrive(now, node, port, packet),
             Event::EmitPacket { flow_idx, seq } => self.on_emit(now, flow_idx, seq),
@@ -1598,7 +1646,11 @@ impl Simulation {
                         .push(self.chaos.stall_until, Event::CtrlFromSwitch { from, msg });
                     return;
                 }
-                self.ctrl_rx[ctrl_rx_kind(&msg)] += 1;
+                let rx_kind = ctrl_rx_kind(&msg);
+                self.ctrl_rx[rx_kind] += 1;
+                if rx_kind == 0 && self.profiler.is_some() {
+                    self.profile_kind = PROFILE_KIND_PACKET_IN;
+                }
                 let journey = self.journey_of_msg(&msg);
                 if let Some(j) = journey {
                     self.app
@@ -1652,6 +1704,9 @@ impl Simulation {
                 self.dispatch_commands(now, cmds);
             }
             Event::CtrlToSwitch { to, msg } => {
+                if self.profiler.is_some() && ctrl_tx_kind(&msg) == 0 {
+                    self.profile_kind = PROFILE_KIND_FLOWMOD;
+                }
                 if self.chaos_seed.is_some() {
                     // A failed vSwitch absorbs the command (its own
                     // ctrl_absorbed counter also ticks); so does a node
@@ -1845,7 +1900,8 @@ impl Simulation {
                 }
             }
         }
-        if let Some((kind, t0)) = prof {
+        if let Some(t0) = prof {
+            let kind = self.profile_kind;
             if let Some(p) = self.profiler.as_mut() {
                 p.record(kind, t0.elapsed().as_nanos() as f64);
             }
@@ -2034,6 +2090,7 @@ impl Simulation {
             trace,
             journeys: journeys.take_marks(),
             profile,
+            shard_profile: self.epoch_profiler,
         }
     }
 }

@@ -1,0 +1,124 @@
+//! Execution-plane telemetry contracts (DESIGN.md §15): the deterministic
+//! `shard.*` metrics must be byte-identical run to run, must never leak
+//! into the canonical report, and the inter-shard message matrix must
+//! account for exactly the handoffs the barrier delivered.
+
+use scotch::scenario::Scenario;
+use scotch_sim::{SimDuration, SimTime};
+
+const SEED: u64 = 20141202;
+
+fn parallel_scenario() -> Scenario {
+    Scenario::multirack(4, 1)
+        .with_interrack_propagation(SimDuration::from_micros(200))
+        .with_rack_clients(150.0)
+        .with_attack(400.0)
+        .with_clients(80.0)
+}
+
+/// Two sharded runs of the same (scenario, seed, shard count) must emit a
+/// byte-identical metrics snapshot — lane events, xmsgs matrix, epoch
+/// histogram and all.
+#[test]
+fn shard_metrics_snapshot_is_reproducible() {
+    let until = SimTime::from_millis(400);
+    let run = || parallel_scenario().run_sharded(until, SEED, 4, 1).metrics;
+    let a = run();
+    let b = run();
+    assert_eq!(
+        format!("{:?}", a.entries),
+        format!("{:?}", b.entries),
+        "shard telemetry diverged between identical runs"
+    );
+    assert!(
+        a.get("shard.lanes").is_some(),
+        "sharded run exported no shard.* telemetry"
+    );
+}
+
+/// `--profile-shards` is observability-only: enabling the wall-clock epoch
+/// profiler must not move a single byte of the canonical report, at any
+/// shard count.
+#[test]
+fn shard_profiling_does_not_perturb_canonical_report() {
+    let until = SimTime::from_millis(400);
+    let base = parallel_scenario().run(until, SEED).canonical_json();
+    for shards in [2usize, 4] {
+        let mut sim = parallel_scenario().build_until(SEED, until);
+        sim.enable_shard_profiling();
+        let report = sim.run_sharded(until, shards, 1);
+        assert!(
+            report.shard_profile.is_some(),
+            "profiler enabled but no shard profile attached at --shards {shards}"
+        );
+        assert_eq!(
+            report.canonical_json(),
+            base,
+            "--profile-shards perturbed the canonical report at --shards {shards}"
+        );
+    }
+}
+
+/// The xmsgs matrix counts only cross-shard routings, so its total must
+/// equal `shard.handoffs` — the number of events the barriers actually
+/// moved between lanes.
+#[test]
+fn xmsgs_matrix_sums_to_handoffs() {
+    let until = SimTime::from_millis(400);
+    let report = parallel_scenario().run_sharded(until, SEED, 4, 1);
+    let m = report.metrics;
+    let matrix_total: f64 = m
+        .entries
+        .iter()
+        .filter(|(name, _)| name.starts_with("shard.xmsgs."))
+        .map(|(_, v)| *v)
+        .sum();
+    let handoffs = m.get("shard.handoffs").expect("shard.handoffs missing");
+    assert!(handoffs > 0.0, "scenario produced no inter-shard traffic");
+    assert_eq!(
+        matrix_total, handoffs,
+        "xmsgs matrix does not account for every handoff"
+    );
+}
+
+/// Hub-share is derived from the exported lane counters: the ppm figure
+/// must equal lane 0's share of total lane events, and the per-lane
+/// counters must cover every lane the partition produced.
+#[test]
+fn hub_share_matches_lane_counters() {
+    let until = SimTime::from_millis(400);
+    let report = parallel_scenario().run_sharded(until, SEED, 4, 1);
+    let m = report.metrics;
+    let lanes = m.get("shard.lanes").expect("shard.lanes missing") as usize;
+    assert_eq!(lanes, 4);
+    let events: Vec<u64> = (0..lanes)
+        .map(|s| {
+            m.get(&format!("shard.lane.{s}.events"))
+                .unwrap_or_else(|| panic!("shard.lane.{s}.events missing")) as u64
+        })
+        .collect();
+    let total: u64 = events.iter().sum();
+    assert!(total > 0);
+    let expect_ppm = events[0] * 1_000_000 / total;
+    assert_eq!(
+        m.get("shard.hub_share_ppm").expect("hub share missing") as u64,
+        expect_ppm
+    );
+}
+
+/// Sequential runs must not export any `shard.*` telemetry — the keys are
+/// the signature of a genuinely sharded execution.
+#[test]
+fn sequential_run_exports_no_shard_telemetry() {
+    let until = SimTime::from_millis(400);
+    let report = parallel_scenario().run(until, SEED);
+    assert!(
+        !report
+            .metrics
+            .entries
+            .iter()
+            .any(|(name, _)| name.starts_with("shard.")),
+        "sequential run leaked shard.* telemetry"
+    );
+    assert!(report.shard_profile.is_none());
+}

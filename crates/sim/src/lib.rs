@@ -39,7 +39,10 @@ pub use journey::{
     JourneyConfig, JourneyMark, JourneyPoint, JourneyRecorder, JourneyView, LatencyDecomposition,
     Span, Stage,
 };
-pub use registry::{DispatchProfiler, MetricsRegistry, MetricsSnapshot, ProfileEntry};
+pub use registry::{
+    DispatchProfiler, EpochProfiler, LaneProfileEntry, MetricsRegistry, MetricsSnapshot,
+    ProfileEntry,
+};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};
 pub use trace::{TraceCategory, TraceConfig, TraceEvent, TraceLevel, TraceRecord, TraceRecorder};

@@ -53,10 +53,13 @@ pub enum TraceCategory {
     Health,
     /// Injected faults (chaos harness) and their restorations.
     Fault,
+    /// Sharded-execution epochs and inter-shard handoffs (recorded by the
+    /// lockstep driver on the hub lane; sequential runs never emit these).
+    Shard,
 }
 
 /// Number of trace categories (size of the per-category level table).
-pub const TRACE_CATEGORIES: usize = 8;
+pub const TRACE_CATEGORIES: usize = 9;
 
 impl TraceCategory {
     /// All categories, in a fixed order matching [`TraceCategory::index`].
@@ -69,6 +72,7 @@ impl TraceCategory {
         TraceCategory::Group,
         TraceCategory::Health,
         TraceCategory::Fault,
+        TraceCategory::Shard,
     ];
 
     /// Dense index into the per-category level table.
@@ -88,6 +92,7 @@ impl TraceCategory {
             TraceCategory::Group => "group",
             TraceCategory::Health => "health",
             TraceCategory::Fault => "fault",
+            TraceCategory::Shard => "shard",
         }
     }
 
@@ -239,6 +244,32 @@ pub enum TraceEvent {
         /// 3 = delayed (reorder).
         kind: u32,
     },
+    /// The lockstep driver opened a new execution epoch: every lane may run
+    /// up to `width` ns of sim-time before the next barrier.
+    EpochOpened {
+        /// Zero-based epoch index.
+        epoch: u32,
+        /// Granted epoch width in sim-time ns (lookahead, clamped by the
+        /// next central-timeline entry and the horizon).
+        width: u64,
+    },
+    /// A completed epoch's event total, recorded at the closing barrier.
+    EpochClosed {
+        /// Zero-based epoch index.
+        epoch: u32,
+        /// Events processed across all lanes during the epoch.
+        events: u64,
+    },
+    /// Events crossed a shard boundary at a barrier (one record per
+    /// `(src, dst)` pair with traffic).
+    ShardHandoff {
+        /// Sending shard.
+        src: u32,
+        /// Receiving shard.
+        dst: u32,
+        /// Events handed off.
+        events: u32,
+    },
 }
 
 impl TraceEvent {
@@ -261,6 +292,9 @@ impl TraceEvent {
             TraceEvent::FaultInjected { .. }
             | TraceEvent::FaultCleared { .. }
             | TraceEvent::CtrlMsgPerturbed { .. } => TraceCategory::Fault,
+            TraceEvent::EpochOpened { .. }
+            | TraceEvent::EpochClosed { .. }
+            | TraceEvent::ShardHandoff { .. } => TraceCategory::Shard,
         }
     }
 
@@ -274,7 +308,8 @@ impl TraceEvent {
             | TraceEvent::FlowDropped { .. }
             | TraceEvent::RuleInstalled { .. }
             | TraceEvent::PacketInEmitted { .. }
-            | TraceEvent::CtrlMsgPerturbed { .. } => TraceLevel::Verbose,
+            | TraceEvent::CtrlMsgPerturbed { .. }
+            | TraceEvent::ShardHandoff { .. } => TraceLevel::Verbose,
             _ => TraceLevel::Brief,
         }
     }
@@ -297,6 +332,9 @@ impl TraceEvent {
             TraceEvent::FaultInjected { .. } => "fault_injected",
             TraceEvent::FaultCleared { .. } => "fault_cleared",
             TraceEvent::CtrlMsgPerturbed { .. } => "ctrl_msg_perturbed",
+            TraceEvent::EpochOpened { .. } => "epoch_opened",
+            TraceEvent::EpochClosed { .. } => "epoch_closed",
+            TraceEvent::ShardHandoff { .. } => "shard_handoff",
         }
     }
 
@@ -376,6 +414,17 @@ impl TraceEvent {
                 vec![("kind", kind as u64), ("target", target as u64)]
             }
             TraceEvent::CtrlMsgPerturbed { kind } => vec![("kind", kind as u64)],
+            TraceEvent::EpochOpened { epoch, width } => {
+                vec![("epoch", epoch as u64), ("width", width)]
+            }
+            TraceEvent::EpochClosed { epoch, events } => {
+                vec![("epoch", epoch as u64), ("events", events)]
+            }
+            TraceEvent::ShardHandoff { src, dst, events } => vec![
+                ("src", src as u64),
+                ("dst", dst as u64),
+                ("events", events as u64),
+            ],
         }
     }
 }
