@@ -14,6 +14,9 @@
 //! * [`monitor::PacketInMonitor`] — per-switch Packet-In rate tracking,
 //!   the congestion signal for overlay activation/withdrawal;
 //! * [`monitor::HeartbeatTracker`] — vSwitch liveness via Echo (§5.6);
+//! * [`cluster::ClusterState`] — controller-cluster mastership: N
+//!   replicas, per-switch masters and standbys, deterministic failover
+//!   with parked-message migration (DESIGN.md §16);
 //! * [`baseline::BaselineController`] — a plain reactive controller
 //!   (shortest path, rule install along path, PacketOut), the non-Scotch
 //!   behaviour measured in Figs. 3, 4, 9, 10.
@@ -25,11 +28,13 @@
 
 pub mod addressbook;
 pub mod baseline;
+pub mod cluster;
 pub mod flowdb;
 pub mod monitor;
 
 pub use addressbook::AddressBook;
 pub use baseline::{BaselineConfig, BaselineController};
+pub use cluster::{ClusterConfig, ClusterState, MasterView, NO_REPLICA};
 pub use flowdb::{FlowInfo, FlowInfoDatabase};
 pub use monitor::{HeartbeatTracker, PacketInMonitor};
 

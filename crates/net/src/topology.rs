@@ -108,6 +108,16 @@ impl Topology {
             .collect()
     }
 
+    /// All control-plane-attached switches (physical switches and
+    /// vSwitches), in ascending id order — the set a controller cluster
+    /// assigns mastership over.
+    pub fn switch_ids(&self) -> Vec<NodeId> {
+        (0..self.nodes.len() as u32)
+            .map(NodeId)
+            .filter(|n| matches!(self.kind(*n), NodeKind::PhysicalSwitch | NodeKind::VSwitch))
+            .collect()
+    }
+
     fn alloc_port(&mut self, node: NodeId, link: LinkId) -> PortId {
         let ports = &mut self.nodes[node.0 as usize].ports;
         let id = PortId(ports.len() as u16);

@@ -25,7 +25,8 @@ use crate::telemetry::TelemetryCache;
 use scotch_controller::baseline::{plan_flow_rules, PHYSICAL_RULE_PRIORITY};
 use scotch_controller::flowdb::FlowPath;
 use scotch_controller::{
-    AddressBook, Command, FlowInfoDatabase, HeartbeatTracker, PacketInMonitor,
+    AddressBook, ClusterConfig, ClusterState, Command, FlowInfoDatabase, HeartbeatTracker,
+    PacketInMonitor,
 };
 use scotch_net::{FlowKey, IpAddr, NodeId, Packet, PortId, Topology, TunnelId};
 use scotch_openflow::messages::{GroupModCommand, OfError};
@@ -229,6 +230,10 @@ pub struct ScotchApp {
     /// deliveries at barriers, can resolve a flow's `served_by` as of its
     /// first delivery time.
     pub flow_journal: Option<Vec<(SimTime, FlowKey, Option<FlowPath>)>>,
+    /// Controller-cluster mastership state (DESIGN.md §16). `None` (the
+    /// default, `controllers: 1`) keeps the single-controller engine on
+    /// exactly its old code path — every cluster hook is gated on this.
+    pub cluster: Option<ClusterState>,
 }
 
 impl ScotchApp {
@@ -243,6 +248,12 @@ impl ScotchApp {
         let detector = ElephantDetector::new(config.elephant_pps);
         let heartbeats =
             HeartbeatTracker::new(config.heartbeat_period, config.heartbeat_miss_limit);
+        let cluster = (config.controllers > 1).then(|| {
+            ClusterState::new(ClusterConfig {
+                replicas: config.controllers,
+                sync_latency: config.sync_latency,
+            })
+        });
         ScotchApp {
             mode,
             monitor: PacketInMonitor::new(SimDuration::from_secs(1)),
@@ -264,6 +275,7 @@ impl ScotchApp {
             trace: TraceRecorder::disabled(),
             journeys: JourneyRecorder::disabled(),
             flow_journal: None,
+            cluster,
         }
     }
 

@@ -30,6 +30,13 @@
 //!   --sampling-rate <P> sampled flow telemetry at per-packet probability
 //!                       P in (0, 1]; 1.0 reproduces exhaustive reports
 //!                       byte-for-byte (default: exhaustive polling)
+//!   --controllers <N>   controller-cluster replicas behind per-switch
+//!                       mastership (DESIGN.md §16); 1 = the single-
+//!                       controller engine, byte-for-byte (default: 1)
+//!   --sync-latency-us <N>  inter-replica state-sync latency in µs — the
+//!                       mastership-handoff bound (default: 500)
+//!   --failover <SECS>   crash replica 0 at the given time, no restart
+//!                       (scripted failover; requires --controllers >= 2)
 //!   --seed <N>          RNG seed                        (default: 1)
 //!   --duration <SECS>   simulated seconds               (default: 10)
 //!   --json              machine-readable summary on stdout
@@ -160,9 +167,15 @@
 //!   --shrink-runs <N>   shrink budget in re-runs          (default: 200)
 //!   --failover-bound <SECS>  override the I2 failover bound (0 breaks I2
 //!                       deliberately; default derives from the heartbeat)
+//!   --setup-bound <SECS>  per-flow setup-latency bound (I7): flows that
+//!                       complete setup under faults must do so within
+//!                       this bound                   (default: unchecked)
 //!   --max-undeliverable <N>  I3 stranded-flow budget       (default: 0)
 //!   --report <FILE>     write the violation report (with trace windows)
 //!   --plan-out <FILE>   write the (shrunk) failing plan
+//!   --promote <NAME>    commit the failing plan (shrunk, in `--search`
+//!                       mode) as a regression fixture at
+//!                       `crates/scotch/tests/fixtures/<NAME>.plan`
 //!
 //! `chaos` exits 0 on a clean run, 1 when an invariant was violated
 //! (or `--search` found a failing plan), 2 on usage errors. With
@@ -182,8 +195,9 @@
 //! `determinism` runs each matrix scenario sequentially, then at every
 //! requested shard count, and byte-compares the canonical reports; any
 //! divergence exits 1. The matrix includes a sampled-telemetry case
-//! (rate 1/64), and one extra cell checks that `sampled { rate: 1.0 }`
-//! reproduces the exhaustive report byte-for-byte.
+//! (rate 1/64), a 3-replica controller-cluster case under the fault plan
+//! plus a scripted failover, and one extra cell checks that
+//! `sampled { rate: 1.0 }` reproduces the exhaustive report byte-for-byte.
 //!
 //! `sweep` fans each `(scenario, seed)` pair out on the work-stealing
 //! runner, prints one progress line per finished job, and writes a
@@ -225,6 +239,9 @@ struct Options {
     interrack_us: Option<u64>,
     rack_clients: Option<f64>,
     profile_shards: bool,
+    controllers: u32,
+    sync_latency_us: Option<u64>,
+    failover: Option<f64>,
 }
 
 impl Default for Options {
@@ -252,6 +269,9 @@ impl Default for Options {
             interrack_us: None,
             rack_clients: None,
             profile_shards: false,
+            controllers: 1,
+            sync_latency_us: None,
+            failover: None,
         }
     }
 }
@@ -352,6 +372,32 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 )
             }
             "--profile-shards" => o.profile_shards = true,
+            "--controllers" => {
+                o.controllers = next(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--controllers: {e}"))?;
+                if o.controllers == 0 {
+                    return Err("--controllers must be at least 1".into());
+                }
+            }
+            "--sync-latency-us" => {
+                let us: u64 = next(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--sync-latency-us: {e}"))?;
+                if us == 0 {
+                    return Err("--sync-latency-us must be positive".into());
+                }
+                o.sync_latency_us = Some(us);
+            }
+            "--failover" => {
+                let at: f64 = next(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--failover: {e}"))?;
+                if !(at.is_finite() && at > 0.0) {
+                    return Err("--failover time must be positive".into());
+                }
+                o.failover = Some(at);
+            }
             "--pcap" => {
                 let node = next(&mut i)?;
                 let file = next(&mut i)?;
@@ -364,6 +410,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     }
     if !matches!(o.scenario.as_str(), "datacenter" | "single" | "multirack") {
         return Err(format!("unknown scenario '{}'", o.scenario));
+    }
+    if o.failover.is_some() && o.controllers < 2 {
+        return Err("--failover requires --controllers >= 2".into());
     }
     Ok(o)
 }
@@ -418,6 +467,15 @@ fn build_scenario(o: &Options) -> Scenario {
     }
     if let Some(rate) = o.sampling_rate {
         s = s.with_sampling_rate(rate);
+    }
+    if o.controllers > 1 {
+        s = s.with_controllers(o.controllers);
+    }
+    if let Some(us) = o.sync_latency_us {
+        s = s.with_sync_latency(SimDuration::from_micros(us));
+    }
+    if let Some(at) = o.failover {
+        s = s.with_failover_at(0, SimTime::from_secs_f64(at));
     }
     if o.baseline {
         s = s.with_mode(ControllerMode::Baseline);
@@ -778,8 +836,16 @@ fn print_timeline(view: &JourneyView, names: &[String]) {
         .find(|m| m.point == JourneyPoint::Decision)
         .map(|m| VERDICT_NAMES.get(m.info as usize).copied().unwrap_or("?"))
         .unwrap_or("none");
+    // A `CtrlRx` mark carries `replica + 1` when a controller cluster is
+    // settled (0 means the single-controller engine or mastership in flux).
+    let replica = view
+        .marks
+        .iter()
+        .find(|m| m.point == JourneyPoint::CtrlRx && m.info > 0)
+        .map(|m| format!(", replica {}", m.info - 1))
+        .unwrap_or_default();
     println!(
-        "journey {:#x} ({outcome}, verdict {verdict}) start t={} total {}",
+        "journey {:#x} ({outcome}, verdict {verdict}{replica}) start t={} total {}",
         view.id,
         fmt_at(view.start()),
         fmt_dur(view.total()),
@@ -806,6 +872,13 @@ fn print_timeline(view: &JourneyView, names: &[String]) {
             JourneyPoint::Fault => println!(
                 "  ! fault {} at t={} ({})",
                 perturb_name(ann.info),
+                fmt_at(ann.at),
+                node_name(names, ann.node),
+            ),
+            JourneyPoint::Handoff => println!(
+                "  ! handoff replica {} -> {} at t={} (switch {})",
+                ann.info >> 32,
+                ann.info & 0xffff_ffff,
                 fmt_at(ann.at),
                 node_name(names, ann.node),
             ),
@@ -1928,9 +2001,11 @@ struct ChaosOptions {
     search: Option<u64>,
     shrink_runs: usize,
     failover_bound: Option<f64>,
+    setup_bound: Option<f64>,
     max_undeliverable: u64,
     report: Option<String>,
     plan_out: Option<String>,
+    promote: Option<String>,
 }
 
 impl Default for ChaosOptions {
@@ -1941,9 +2016,11 @@ impl Default for ChaosOptions {
             search: None,
             shrink_runs: 200,
             failover_bound: None,
+            setup_bound: None,
             max_undeliverable: 0,
             report: None,
             plan_out: None,
+            promote: None,
         }
     }
 }
@@ -1985,6 +2062,13 @@ fn parse_chaos_args(args: &[String]) -> Result<(ChaosOptions, Vec<String>), Stri
                         .map_err(|e| format!("--failover-bound: {e}"))?,
                 )
             }
+            "--setup-bound" => {
+                c.setup_bound = Some(
+                    next(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("--setup-bound: {e}"))?,
+                )
+            }
             "--max-undeliverable" => {
                 c.max_undeliverable = next(&mut i)?
                     .parse()
@@ -1992,6 +2076,17 @@ fn parse_chaos_args(args: &[String]) -> Result<(ChaosOptions, Vec<String>), Stri
             }
             "--report" => c.report = Some(next(&mut i)?),
             "--plan-out" => c.plan_out = Some(next(&mut i)?),
+            "--promote" => {
+                let name = next(&mut i)?;
+                if name.is_empty()
+                    || !name
+                        .chars()
+                        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+                {
+                    return Err(format!("--promote: bad fixture name `{name}`"));
+                }
+                c.promote = Some(name);
+            }
             other => rest.push(other.to_string()),
         }
         i += 1;
@@ -2041,13 +2136,60 @@ fn write_chaos_report(
     }
 }
 
+/// Commit a failing plan as a regression fixture under
+/// `crates/scotch/tests/fixtures/`. The header comment records everything
+/// a replay needs — seed, horizon, and the knobs that differ from their
+/// defaults — and `FaultPlan::parse` skips it, so the fixture file is
+/// also a valid `--plan` input.
+fn promote_fixture(
+    name: &str,
+    plan: &scotch_sim::fault::FaultPlan,
+    seed: u64,
+    opts: &Options,
+    copts: &ChaosOptions,
+    violations: &[scotch::Violation],
+) {
+    let dir = std::path::Path::new("crates/scotch/tests/fixtures");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let mut body = format!("# chaos fixture `{name}` (promoted minimal failing plan)\n");
+    body.push_str(&format!("# seed={seed}\n"));
+    body.push_str(&format!("# duration_s={}\n", opts.duration));
+    body.push_str(&format!("# scenario={}\n", opts.scenario));
+    body.push_str(&format!("# controllers={}\n", opts.controllers));
+    if let Some(us) = opts.sync_latency_us {
+        body.push_str(&format!("# sync_latency_us={us}\n"));
+    }
+    if let Some(secs) = copts.failover_bound {
+        body.push_str(&format!("# failover_bound_s={secs}\n"));
+    }
+    if copts.max_undeliverable > 0 {
+        body.push_str(&format!(
+            "# max_undeliverable={}\n",
+            copts.max_undeliverable
+        ));
+    }
+    let mut names: Vec<&str> = violations.iter().map(|v| v.invariant).collect();
+    names.dedup();
+    body.push_str(&format!("# violations: {}\n", names.join(" ")));
+    body.push_str(&plan.render());
+    let path = dir.join(format!("{name}.plan"));
+    match std::fs::write(&path, body) {
+        Ok(()) => println!("chaos: promoted failing plan to {}", path.display()),
+        Err(e) => eprintln!("warning: failed to write {}: {e}", path.display()),
+    }
+}
+
 fn chaos_main(args: &[String]) -> i32 {
     let usage = || {
         eprintln!("usage: scotch-cli chaos [SCENARIO OPTIONS] [--plan FILE | --events N]");
         eprintln!("                        [--search N] [--shrink-runs N] [--failover-bound S]");
         eprintln!(
-            "                        [--max-undeliverable N] [--report FILE] [--plan-out FILE]"
+            "                        [--setup-bound S] [--max-undeliverable N] [--report FILE]"
         );
+        eprintln!("                        [--plan-out FILE] [--promote NAME]");
     };
     let (copts, rest) = match parse_chaos_args(args) {
         Ok(v) => v,
@@ -2073,6 +2215,9 @@ fn chaos_main(args: &[String]) -> i32 {
     let mut cfg = scotch::ChaosConfig::default();
     if let Some(secs) = copts.failover_bound {
         cfg.failover_bound = SimDuration::from_secs_f64(secs);
+    }
+    if let Some(secs) = copts.setup_bound {
+        cfg.setup_latency_bound = Some(SimDuration::from_secs_f64(secs));
     }
     cfg.max_undeliverable = copts.max_undeliverable;
 
@@ -2143,6 +2288,9 @@ fn chaos_main(args: &[String]) -> i32 {
         if let Some(path) = &copts.report {
             write_chaos_report(path, &plan, opts.seed, &outcome.violations);
         }
+        if let Some(name) = &copts.promote {
+            promote_fixture(name, &plan, opts.seed, &opts, &copts, &outcome.violations);
+        }
         return 1;
     };
 
@@ -2187,6 +2335,9 @@ fn chaos_main(args: &[String]) -> i32 {
         }
         if let Some(path) = &copts.report {
             write_chaos_report(path, &small, seed, &final_outcome.violations);
+        }
+        if let Some(name) = &copts.promote {
+            promote_fixture(name, &small, seed, &opts, &copts, &final_outcome.violations);
         }
         return 1;
     }
@@ -2303,7 +2454,24 @@ fn determinism_cases(
         ),
         (
             "multirack_chaos",
-            Box::new(move || parallel().with_fault_plan(plan.clone())),
+            Box::new({
+                let plan = plan.clone();
+                move || parallel().with_fault_plan(plan.clone())
+            }),
+        ),
+        (
+            // Controller-cluster cell: a 3-replica cluster under the same
+            // fault plan plus a scripted mid-run failover of replica 0.
+            // Mastership handoffs and pending-queue migration must land
+            // identically at every shard count.
+            "multirack_cluster",
+            Box::new(move || {
+                parallel()
+                    .with_controllers(3)
+                    .with_sync_latency(SimDuration::from_micros(500))
+                    .with_fault_plan(plan.clone())
+                    .with_failover_at(0, SimTime::from_secs_f64(0.5))
+            }),
         ),
     ]
 }
@@ -2942,6 +3110,37 @@ mod tests {
     }
 
     #[test]
+    fn cluster_flags_parse() {
+        let o = parse("--controllers 3 --sync-latency-us 750 --failover 1.5").unwrap();
+        assert_eq!(o.controllers, 3);
+        assert_eq!(o.sync_latency_us, Some(750));
+        assert_eq!(o.failover, Some(1.5));
+        let d = parse("").unwrap();
+        assert_eq!(d.controllers, 1);
+        assert_eq!(d.sync_latency_us, None);
+        assert_eq!(d.failover, None);
+    }
+
+    #[test]
+    fn rejects_bad_cluster_flags() {
+        assert!(parse("--controllers 0").is_err());
+        assert!(parse("--sync-latency-us 0").is_err());
+        assert!(parse("--controllers 3 --failover 0").is_err());
+        // A scripted failover needs a standby to fail over to.
+        assert!(parse("--failover 1.0").is_err());
+        assert!(parse("--controllers 1 --failover 1.0").is_err());
+    }
+
+    #[test]
+    fn cluster_flags_reach_the_scenario() {
+        let o = parse("--controllers 3 --sync-latency-us 750 --failover 0.5").unwrap();
+        let sim = build_scenario(&o).build(1);
+        let cluster = sim.app.cluster.as_ref().expect("cluster built");
+        assert_eq!(cluster.replicas(), 3);
+        assert_eq!(cluster.sync_latency(), SimDuration::from_micros(750));
+    }
+
+    #[test]
     fn rejects_unknown_flag() {
         assert!(parse("--bogus").is_err());
     }
@@ -3207,10 +3406,35 @@ mod tests {
     #[test]
     fn determinism_cases_build() {
         let plan = scotch::chaos::generate_plan(1, SimDuration::from_secs(2), 4);
-        for (name, make) in determinism_cases(plan) {
+        let cases = determinism_cases(plan);
+        assert!(cases.iter().any(|(name, _)| *name == "multirack_cluster"));
+        for (name, make) in cases {
             assert!(!name.is_empty());
-            let _sim = make().build(1);
+            let sim = make().build(1);
+            if name == "multirack_cluster" {
+                assert_eq!(sim.app.cluster.as_ref().map(|c| c.replicas()), Some(3));
+            }
         }
+    }
+
+    #[test]
+    fn chaos_flags_split_and_parse() {
+        let args: Vec<String> =
+            "--setup-bound 0.25 --promote repro-1 --plan p.plan --controllers 3"
+                .split_whitespace()
+                .map(String::from)
+                .collect();
+        let (c, rest) = parse_chaos_args(&args).unwrap();
+        assert_eq!(c.setup_bound, Some(0.25));
+        assert_eq!(c.promote.as_deref(), Some("repro-1"));
+        assert_eq!(c.plan.as_deref(), Some("p.plan"));
+        assert_eq!(rest, ["--controllers", "3"]);
+    }
+
+    #[test]
+    fn chaos_promote_rejects_path_like_names() {
+        let args: Vec<String> = vec!["--promote".into(), "../evil".into()];
+        assert!(parse_chaos_args(&args).is_err());
     }
 
     fn parse_sweep(s: &str) -> Result<SweepOptions, String> {

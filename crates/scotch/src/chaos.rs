@@ -18,6 +18,16 @@
 //! * **I4 — message conservation.** Packet-In and FlowMod-Add counts
 //!   balance *exactly*: every message is received, dropped by an injected
 //!   fault, absorbed by a dead device, or still in flight at the horizon.
+//! * **I5 — no flow setup lost across failover.** Every switch→controller
+//!   message parked during a mastership migration is released to the new
+//!   master or still parked at the horizon: the cluster's pending ledger
+//!   balances exactly (cluster runs only).
+//! * **I6 — bounded mastership handoff.** Every handoff settles within the
+//!   configured inter-replica sync delay of becoming due (cluster runs
+//!   only).
+//! * **I7 — bounded setup latency.** Optional: every flow that completes
+//!   setup under faults does so within `setup_latency_bound` of its first
+//!   emission.
 //!
 //! Violations carry the flight-recorder trace window around them, so a
 //! failing run reads as a story, not a boolean. [`generate_plan`] draws
@@ -43,6 +53,12 @@ pub struct ChaosConfig {
     pub failover_bound: SimDuration,
     /// Maximum tolerated `overlay_undeliverable` count (I3). Default 0.
     pub max_undeliverable: u64,
+    /// Per-flow setup-latency bound (I7): a flow whose first packet *is*
+    /// delivered must have been delivered within this much of its first
+    /// emission. `None` (the default) disables the check — faults may
+    /// legitimately delay setup arbitrarily unless the scenario promises a
+    /// bound.
+    pub setup_latency_bound: Option<SimDuration>,
     /// Trace records captured on each side of a violation.
     pub window: usize,
 }
@@ -59,6 +75,7 @@ impl ChaosConfig {
         ChaosConfig {
             failover_bound: detect + SimDuration::from_secs(1),
             max_undeliverable: 0,
+            setup_latency_bound: None,
             window: 8,
         }
     }
@@ -172,7 +189,10 @@ pub fn check(report: &Report, plan: &FaultPlan, cfg: &ChaosConfig) -> Vec<Violat
         + metric(report, "chaos.in_flight_rx.packet_in")
         + metric(report, "chaos.in_flight_tx.packet_out")
         + metric(report, "chaos.in_flight.packets")
-        + metric(report, "controller.backlog.last");
+        + metric(report, "controller.backlog.last")
+        // Messages still parked behind an unsettled mastership migration at
+        // the horizon are held, not lost.
+        + metric(report, "ctrl.cluster.pending");
     let slack = 1000.max(emitted / 100);
     if lost > accounted + slack {
         violations.push(Violation {
@@ -300,6 +320,94 @@ pub fn check(report: &Report, plan: &FaultPlan, cfg: &ChaosConfig) -> Vec<Violat
         });
     }
 
+    // I5 — no flow setup lost across failover (cluster runs only). Every
+    // switch→controller message parked during a mastership migration must be
+    // released to the new master or still parked at the horizon: the
+    // pending ledger balances *exactly*, like I4.
+    if metric(report, "ctrl.cluster.replicas") >= 2 {
+        let enq = metric(report, "ctrl.cluster.pending_enq");
+        let rel = metric(report, "ctrl.cluster.pending_rel");
+        let held = metric(report, "ctrl.cluster.pending");
+        if enq != rel + held {
+            violations.push(Violation {
+                invariant: "I5-failover-loss",
+                at: horizon,
+                detail: format!(
+                    "{enq} messages parked during mastership migrations but \
+                     only {rel} released + {held} still parked"
+                ),
+                trace_window: window_around(&records, horizon, cfg.window),
+            });
+        }
+
+        // I6 — bounded mastership handoff. The engine stamps
+        // `handoff_exceeded` for any handoff that settled later than its
+        // sync-delay deadline; a clean run has none. Each late handoff is
+        // anchored at its trace record for the window.
+        if metric(report, "ctrl.cluster.handoff_exceeded") > 0 {
+            let mut anchored = false;
+            for rec in &records {
+                if let TraceEvent::MastershipHandoff {
+                    switch, from, to, ..
+                } = rec.event
+                {
+                    anchored = true;
+                    violations.push(Violation {
+                        invariant: "I6-handoff-bound",
+                        at: rec.at,
+                        detail: format!(
+                            "mastership of switch {switch} moved {from}->{to} in a run \
+                             where {} handoff(s) exceeded the sync-delay bound",
+                            metric(report, "ctrl.cluster.handoff_exceeded")
+                        ),
+                        trace_window: window_around(&records, rec.at, cfg.window),
+                    });
+                    break;
+                }
+            }
+            if !anchored {
+                violations.push(Violation {
+                    invariant: "I6-handoff-bound",
+                    at: horizon,
+                    detail: format!(
+                        "{} mastership handoff(s) exceeded the sync-delay bound",
+                        metric(report, "ctrl.cluster.handoff_exceeded")
+                    ),
+                    trace_window: window_around(&records, horizon, cfg.window),
+                });
+            }
+        }
+    }
+
+    // I7 — bounded setup latency (opt-in). A flow whose first packet was
+    // delivered must have completed setup within the bound; flows that
+    // never deliver are I1's concern, and attack flows are policed by
+    // design.
+    if let Some(bound) = cfg.setup_latency_bound {
+        for f in &report.flows {
+            let Some(first) = f.first_delivered else {
+                continue;
+            };
+            if f.is_attack {
+                continue;
+            }
+            let setup = first.duration_since(f.started_at);
+            if setup > bound {
+                violations.push(Violation {
+                    invariant: "I7-setup-latency",
+                    at: first,
+                    detail: format!(
+                        "flow {} completed setup in {}ns, over the {}ns bound",
+                        f.id.0,
+                        setup.as_nanos(),
+                        bound.as_nanos()
+                    ),
+                    trace_window: window_around(&records, first, cfg.window),
+                });
+            }
+        }
+    }
+
     violations
 }
 
@@ -316,7 +424,7 @@ pub fn generate_plan(seed: u64, horizon: SimDuration, n_events: usize) -> FaultP
         let dur = SimDuration::from_millis(50 + g.below(1950));
         let p = 0.05 + 0.45 * g.f64();
         let target = g.below(u64::from(u32::MAX)) as u32;
-        let kind = match g.below(9) {
+        let kind = match g.below(11) {
             0 => FaultKind::VSwitchCrash {
                 target,
                 restart_after: if g.below(2) == 0 {
@@ -351,9 +459,18 @@ pub fn generate_plan(seed: u64, horizon: SimDuration, n_events: usize) -> FaultP
                 factor: 2.0 + 18.0 * g.f64(),
                 duration: dur,
             },
-            _ => FaultKind::ControllerStall {
+            8 => FaultKind::ControllerStall {
                 duration: SimDuration::from_millis(50 + g.below(950)),
             },
+            9 => FaultKind::ReplicaCrash {
+                target,
+                restart_after: if g.below(2) == 0 {
+                    None
+                } else {
+                    Some(SimDuration::from_millis(100 + g.below(4900)))
+                },
+            },
+            _ => FaultKind::CtrlPartition { duration: dur },
         };
         plan.push(at, kind);
     }
@@ -426,6 +543,18 @@ fn simplify(kind: FaultKind) -> Option<FaultKind> {
         }),
         FaultKind::ControllerStall { duration } if duration > SimDuration::from_millis(10) => {
             Some(FaultKind::ControllerStall {
+                duration: half(duration),
+            })
+        }
+        FaultKind::ReplicaCrash {
+            target,
+            restart_after: Some(_),
+        } => Some(FaultKind::ReplicaCrash {
+            target,
+            restart_after: None,
+        }),
+        FaultKind::CtrlPartition { duration } if duration > SimDuration::from_millis(10) => {
+            Some(FaultKind::CtrlPartition {
                 duration: half(duration),
             })
         }

@@ -166,6 +166,15 @@ pub struct ScotchConfig {
     /// IP) pair (§3.2). Microflow granularity makes *every* flow between a
     /// host pair reactive, which is what trace-driven workloads need.
     pub exact_match_rules: bool,
+    /// Number of controller replicas in the cluster (DESIGN.md §16).
+    /// `1` (the default) runs the single-controller engine byte-for-byte
+    /// unchanged; `>= 2` activates per-switch mastership and failover.
+    pub controllers: u32,
+    /// One-way state-sync latency of the inter-controller coordination
+    /// channel — the delay a mastership handoff pays before the new
+    /// master may act, and the staleness bound on the shared flowdb /
+    /// address book. Ignored when `controllers == 1`.
+    pub sync_latency: SimDuration,
 }
 
 impl Default for ScotchConfig {
@@ -192,6 +201,8 @@ impl Default for ScotchConfig {
             controller_capacity: None,
             telemetry: TelemetryConfig::Exhaustive,
             exact_match_rules: false,
+            controllers: 1,
+            sync_latency: SimDuration::from_micros(500),
         }
     }
 }
@@ -221,6 +232,13 @@ impl ScotchConfig {
         );
         assert!(self.tick_interval > SimDuration::ZERO);
         assert!(self.stats_poll_interval > SimDuration::ZERO);
+        assert!(self.controllers >= 1, "need at least one controller");
+        if self.controllers > 1 {
+            assert!(
+                self.sync_latency > SimDuration::ZERO,
+                "a cluster needs a positive sync latency"
+            );
+        }
         self.telemetry.validate();
     }
 }
@@ -285,6 +303,27 @@ mod tests {
     #[should_panic(expected = "sampling rate")]
     fn oversized_sampling_rate_panics() {
         TelemetryConfig::Sampled { rate: 1.5 }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one controller")]
+    fn zero_controllers_panics() {
+        let c = ScotchConfig {
+            controllers: 0,
+            ..Default::default()
+        };
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "sync latency")]
+    fn cluster_without_sync_latency_panics() {
+        let c = ScotchConfig {
+            controllers: 3,
+            sync_latency: SimDuration::ZERO,
+            ..Default::default()
+        };
+        c.validate();
     }
 
     #[test]

@@ -388,6 +388,41 @@ impl Scenario {
         self
     }
 
+    /// Builder: run a controller cluster of `n` replicas behind per-switch
+    /// mastership (DESIGN.md §16). `n = 1` is the single-controller engine,
+    /// byte-for-byte. Mutates the current config, so it composes after
+    /// [`Scenario::with_config`].
+    pub fn with_controllers(mut self, n: u32) -> Self {
+        assert!(n >= 1, "need at least one controller");
+        self.config.controllers = n;
+        self
+    }
+
+    /// Builder: override the inter-replica state-sync latency — the bound
+    /// on every mastership handoff (invariant I6). Composes after
+    /// [`Scenario::with_config`].
+    pub fn with_sync_latency(mut self, d: SimDuration) -> Self {
+        assert!(d > SimDuration::ZERO, "sync latency must be positive");
+        self.config.sync_latency = d;
+        self
+    }
+
+    /// Builder: scripted failover — crash replica `replica` at `at`, with
+    /// no restart. Appends to the scenario's fault plan (creating one if
+    /// absent), so it rides the same deterministic injection machinery as
+    /// chaos plans and composes with [`Scenario::with_fault_plan`].
+    pub fn with_failover_at(mut self, replica: u32, at: SimTime) -> Self {
+        let plan = self.chaos_plan.get_or_insert_with(FaultPlan::default);
+        plan.events.push(scotch_sim::fault::FaultEvent {
+            at,
+            kind: scotch_sim::fault::FaultKind::ReplicaCrash {
+                target: replica,
+                restart_after: None,
+            },
+        });
+        self
+    }
+
     /// Expected concurrent flowdb population: total arrival rate times the
     /// entry lifetime — the rule idle timeout (entries live until their
     /// rules idle out), clamped by the run horizon when known so short

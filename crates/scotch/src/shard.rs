@@ -461,6 +461,34 @@ impl Driver {
                     );
                 }
             }
+            Event::ClusterHandoffDone | Event::ClearCtrlPartition => {
+                // Pure controller-side work: the hub processes it verbatim
+                // (released messages leave through the hub's outbox).
+                lanes[0].process_event(now, ev);
+            }
+            Event::RecoverReplica { replica } => {
+                // Mirrors the sequential arm, but the handoff completion is
+                // a central follow-up (the timeline, not a lane wheel).
+                if let Some(at) = lanes[0]
+                    .app
+                    .cluster
+                    .as_mut()
+                    .and_then(|c| c.recover(now, replica))
+                {
+                    self.timeline.push(at, Event::ClusterHandoffDone);
+                }
+                lanes[0]
+                    .app
+                    .trace
+                    .record(now, TraceEvent::ReplicaRecovered { replica });
+                lanes[0].app.trace.record(
+                    now,
+                    TraceEvent::FaultCleared {
+                        kind: 9,
+                        target: replica,
+                    },
+                );
+            }
             _ => unreachable!("not a central event"),
         }
     }
@@ -667,6 +695,57 @@ impl Driver {
                 }
                 trace_injected(lanes, u32::MAX);
                 self.timeline.push(stall_until, Event::ClearControllerStall);
+            }
+            FaultKind::ReplicaCrash {
+                target,
+                restart_after,
+            } => {
+                let Some(replica) = lanes[0]
+                    .app
+                    .cluster
+                    .as_ref()
+                    .and_then(|c| c.resolve_target(target))
+                else {
+                    lanes[0].chaos.skipped += 1;
+                    return;
+                };
+                trace_injected(lanes, replica);
+                let switches = lanes[0].topo.switch_ids();
+                let (moved, deadline) = lanes[0]
+                    .app
+                    .cluster
+                    .as_mut()
+                    .expect("resolve_target implies a cluster")
+                    .crash(now, replica, &switches);
+                lanes[0].app.trace.record(
+                    now,
+                    TraceEvent::ReplicaCrashed {
+                        replica,
+                        switches: moved,
+                    },
+                );
+                if let Some(at) = deadline {
+                    self.timeline.push(at, Event::ClusterHandoffDone);
+                }
+                if let Some(delay) = restart_after {
+                    self.timeline
+                        .push(now + delay, Event::RecoverReplica { replica });
+                }
+            }
+            FaultKind::CtrlPartition { duration } => {
+                let Some(cluster) = lanes[0].app.cluster.as_mut() else {
+                    lanes[0].chaos.skipped += 1;
+                    return;
+                };
+                let heal = cluster.partition(now, duration);
+                trace_injected(lanes, u32::MAX);
+                lanes[0].app.trace.record(
+                    now,
+                    TraceEvent::ClusterPartitioned {
+                        duration_ns: duration.as_nanos(),
+                    },
+                );
+                self.timeline.push(heal, Event::ClearCtrlPartition);
             }
         }
     }
@@ -987,6 +1066,22 @@ fn run(mut sim: Simulation, until: SimTime, shards: usize, threads: usize) -> Re
         reg.add("shard.handoffs", handoffs);
         let h = reg.histogram("shard.epoch_width_ns");
         *reg.histogram_mut(h) = driver.epoch_width;
+        // Cluster placement plan: replica `r` is assigned lane `r % lanes`
+        // (round-robin off the hub), and each lane's share of controller
+        // decisions under that plan. Today every replica still executes on
+        // the hub; these keys quantify how much control work the placement
+        // would move off lane 0 — the sizing input for hub offload.
+        if let Some(cluster) = &hub.app.cluster {
+            let mut lane_decisions = vec![0u64; m];
+            for (r, &n) in cluster.decisions().iter().enumerate() {
+                let lane = r % m;
+                reg.add(&format!("ctrl.cluster.replica_lane.{r}"), lane as u64);
+                lane_decisions[lane] += n;
+            }
+            for (lane, &n) in lane_decisions.iter().enumerate() {
+                reg.add(&format!("ctrl.cluster.lane_decisions.{lane}"), n);
+            }
+        }
     }
     hub.epoch_profiler = driver.profiler;
     hub.into_report(until, events_processed)

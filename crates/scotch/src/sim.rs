@@ -9,7 +9,7 @@
 
 use crate::app::{ControllerMode, ScotchApp};
 use crate::report::{DropCounts, FlowOutcome, Report, SwitchReport, VSwitchReport};
-use scotch_controller::Command;
+use scotch_controller::{Command, MasterView};
 use scotch_net::{IpAddr, Label, LinkId, NodeId, NodeKind, NodeMap, Packet, PortId, Topology};
 use scotch_openflow::{ControllerToSwitch, FlowModCommand, SwitchToController};
 use scotch_sim::fault::{FaultEvent, FaultKind, FaultPlan, FAULT_KIND_COUNT, FAULT_KIND_NAMES};
@@ -91,15 +91,24 @@ pub(crate) enum Event {
     /// End of a controller stall window (trace marker; the stall itself
     /// expires by timestamp comparison).
     ClearControllerStall,
+    /// A cluster mastership-handoff deadline: settle every due migration
+    /// and release the affected switches' parked messages to their new
+    /// master replicas (DESIGN.md §16).
+    ClusterHandoffDone,
+    /// A crashed controller replica rejoins the cluster as a standby.
+    RecoverReplica { replica: u32 },
+    /// End of an inter-controller partition window (trace marker; the
+    /// partition itself expires by timestamp comparison).
+    ClearCtrlPartition,
 }
 
-/// Dispatch-profile row labels: the 18 [`Event`] kinds plus refined rows
+/// Dispatch-profile row labels: the 21 [`Event`] kinds plus refined rows
 /// that split the hottest variants by what actually happened inside them.
 /// An `Arrive` that label-switches through a tunnel takes a very different
 /// path from one that hits a device table; a `CtrlFromSwitch` carrying a
 /// PacketIn is the controller's hot path while an echo is bookkeeping.
 /// Handlers reclassify by overwriting [`Simulation::profile_kind`].
-const PROFILE_KIND_NAMES: [&str; 21] = [
+const PROFILE_KIND_NAMES: [&str; 24] = [
     "arrive",
     "emit_packet",
     "source_next",
@@ -118,20 +127,23 @@ const PROFILE_KIND_NAMES: [&str; 21] = [
     "clear_link_degrade",
     "clear_ofa_slowdown",
     "clear_controller_stall",
+    "cluster_handoff_done",
+    "recover_replica",
+    "clear_ctrl_partition",
     "arrive_tunnel_transit",
     "ctrl_packet_in",
     "ctrl_flowmod",
 ];
 
 /// Refined profile row: `Arrive` resolved by tunnel label switching.
-const PROFILE_KIND_TUNNEL_TRANSIT: usize = 18;
+const PROFILE_KIND_TUNNEL_TRANSIT: usize = 21;
 /// Refined profile row: `CtrlFromSwitch` carrying a PacketIn.
-const PROFILE_KIND_PACKET_IN: usize = 19;
+const PROFILE_KIND_PACKET_IN: usize = 22;
 /// Refined profile row: `CtrlToSwitch` carrying a FlowMod.
-const PROFILE_KIND_FLOWMOD: usize = 20;
+const PROFILE_KIND_FLOWMOD: usize = 23;
 
 impl Event {
-    /// Dense variant index (matches the first 18 rows of
+    /// Dense variant index (matches the first 21 rows of
     /// [`PROFILE_KIND_NAMES`]).
     pub(crate) fn kind(&self) -> usize {
         match self {
@@ -153,6 +165,9 @@ impl Event {
             Event::ClearLinkDegrade { .. } => 15,
             Event::ClearOfaSlowdown { .. } => 16,
             Event::ClearControllerStall => 17,
+            Event::ClusterHandoffDone => 18,
+            Event::RecoverReplica { .. } => 19,
+            Event::ClearCtrlPartition => 20,
         }
     }
 }
@@ -900,6 +915,114 @@ impl Simulation {
                 );
                 self.events
                     .push(self.chaos.stall_until, Event::ClearControllerStall);
+            }
+            FaultKind::ReplicaCrash {
+                target,
+                restart_after,
+            } => {
+                // Candidates: live replicas; a single-controller run (or a
+                // fully dead cluster) has none and skips the entry.
+                let Some(replica) = self
+                    .app
+                    .cluster
+                    .as_ref()
+                    .and_then(|c| c.resolve_target(target))
+                else {
+                    self.chaos.skipped += 1;
+                    return;
+                };
+                self.chaos.injected[kind_idx] += 1;
+                self.app.trace.record(
+                    now,
+                    TraceEvent::FaultInjected {
+                        kind: kind_idx as u32,
+                        target: replica,
+                    },
+                );
+                self.crash_replica(now, replica);
+                if let Some(delay) = restart_after {
+                    self.events
+                        .push(now + delay, Event::RecoverReplica { replica });
+                }
+            }
+            FaultKind::CtrlPartition { duration } => {
+                let Some(cluster) = self.app.cluster.as_mut() else {
+                    self.chaos.skipped += 1;
+                    return;
+                };
+                let heal = cluster.partition(now, duration);
+                self.chaos.injected[kind_idx] += 1;
+                self.app.trace.record(
+                    now,
+                    TraceEvent::FaultInjected {
+                        kind: kind_idx as u32,
+                        target: u32::MAX,
+                    },
+                );
+                self.app.trace.record(
+                    now,
+                    TraceEvent::ClusterPartitioned {
+                        duration_ns: duration.as_nanos(),
+                    },
+                );
+                self.events.push(heal, Event::ClearCtrlPartition);
+            }
+        }
+    }
+
+    /// Crash controller replica `replica`: every switch it masters starts
+    /// migrating to its first live standby, and the handoff completion is
+    /// scheduled through the timing wheel so the failover replays
+    /// bit-identically. No-op without a cluster.
+    pub(crate) fn crash_replica(&mut self, now: SimTime, replica: u32) {
+        let Some(cluster) = self.app.cluster.as_mut() else {
+            return;
+        };
+        let switches = self.topo.switch_ids();
+        let (moved, deadline) = cluster.crash(now, replica, &switches);
+        self.app.trace.record(
+            now,
+            TraceEvent::ReplicaCrashed {
+                replica,
+                switches: moved,
+            },
+        );
+        if let Some(at) = deadline {
+            self.events.push(at, Event::ClusterHandoffDone);
+        }
+    }
+
+    /// Settle every due mastership migration: the new masters take over
+    /// and each affected switch's parked messages are re-processed in
+    /// arrival order, with `Handoff` journey annotations linking the
+    /// failover into affected flows' timelines.
+    fn on_cluster_handoff_done(&mut self, now: SimTime) {
+        let Some(cluster) = self.app.cluster.as_mut() else {
+            return;
+        };
+        let handoffs = cluster.settle(now);
+        for h in handoffs {
+            self.app.trace.record(
+                now,
+                TraceEvent::MastershipHandoff {
+                    switch: h.switch.0,
+                    from: h.from,
+                    to: h.to,
+                    released: h.released.len() as u32,
+                },
+            );
+            let annotation = (u64::from(h.from) << 32) | u64::from(h.to);
+            for (from, msg) in h.released {
+                if let Some(j) = self.journey_of_msg(&msg) {
+                    self.app
+                        .journeys
+                        .record(j, now, JourneyPoint::Handoff, h.switch.0, annotation);
+                }
+                if let Some(c) = self.app.cluster.as_mut() {
+                    c.record_decision(h.to);
+                }
+                let cmds = self.app.handle_switch_msg(now, &self.topo, from, msg);
+                self.dispatch_commands(now, cmds);
             }
         }
     }
@@ -1653,9 +1776,29 @@ impl Simulation {
                 }
                 let journey = self.journey_of_msg(&msg);
                 if let Some(j) = journey {
+                    // With a cluster, `info` attributes the receiving
+                    // master replica as `replica + 1` (0 = single
+                    // controller, or mastership in flux).
+                    let info = self
+                        .app
+                        .cluster
+                        .as_ref()
+                        .map_or(0, |c| match c.master_view(from) {
+                            MasterView::Master(m) => u64::from(m) + 1,
+                            MasterView::Park => 0,
+                        });
                     self.app
                         .journeys
-                        .record(j, now, JourneyPoint::CtrlRx, from.0, 0);
+                        .record(j, now, JourneyPoint::CtrlRx, from.0, info);
+                }
+                // Mastership in flux (crash mid-handoff, or every replica
+                // dead): park the message; the completing handoff releases
+                // it to the new master in arrival order (I5).
+                if let Some(cluster) = self.app.cluster.as_mut() {
+                    if cluster.master_view(from) == MasterView::Park {
+                        cluster.park(from, from, *msg);
+                        return;
+                    }
                 }
                 match &mut self.controller_gate {
                     Some((server, service)) => match server.offer(now, *service) {
@@ -1677,6 +1820,11 @@ impl Simulation {
                         }
                     },
                     None => {
+                        if let Some(cluster) = self.app.cluster.as_mut() {
+                            if let MasterView::Master(m) = cluster.master_view(from) {
+                                cluster.record_decision(m);
+                            }
+                        }
                         let cmds = {
                             let topo = &self.topo;
                             self.app.handle_switch_msg(now, topo, from, *msg)
@@ -1696,6 +1844,17 @@ impl Simulation {
                     self.app
                         .journeys
                         .record(j, now, JourneyPoint::CtrlDeq, from.0, 0);
+                }
+                // Mastership may have moved while the message sat in the
+                // capacity gate; re-check before processing.
+                if let Some(cluster) = self.app.cluster.as_mut() {
+                    match cluster.master_view(from) {
+                        MasterView::Park => {
+                            cluster.park(from, from, *msg);
+                            return;
+                        }
+                        MasterView::Master(m) => cluster.record_decision(m),
+                    }
                 }
                 let cmds = {
                     let topo = &self.topo;
@@ -1899,6 +2058,44 @@ impl Simulation {
                     );
                 }
             }
+            Event::ClusterHandoffDone => self.on_cluster_handoff_done(now),
+            Event::RecoverReplica { replica } => {
+                let Some(cluster) = self.app.cluster.as_mut() else {
+                    return;
+                };
+                if let Some(at) = cluster.recover(now, replica) {
+                    self.events.push(at, Event::ClusterHandoffDone);
+                }
+                self.app
+                    .trace
+                    .record(now, TraceEvent::ReplicaRecovered { replica });
+                self.app.trace.record(
+                    now,
+                    TraceEvent::FaultCleared {
+                        kind: 9,
+                        target: replica,
+                    },
+                );
+            }
+            Event::ClearCtrlPartition => {
+                // Partition windows can extend; only the final marker (at
+                // or past the latest heal instant) traces the clear.
+                let healed = self
+                    .app
+                    .cluster
+                    .as_ref()
+                    .is_some_and(|c| !c.is_partitioned(now));
+                if healed {
+                    self.app.trace.record(now, TraceEvent::ClusterHealed {});
+                    self.app.trace.record(
+                        now,
+                        TraceEvent::FaultCleared {
+                            kind: 10,
+                            target: u32::MAX,
+                        },
+                    );
+                }
+            }
         }
         if let Some(t0) = prof {
             let kind = self.profile_kind;
@@ -2046,6 +2243,26 @@ impl Simulation {
             reg.add("chaos.flowmod_add.absorbed", c.flowmod_add_absorbed);
             reg.add("chaos.flowmod_add.in_flight", c.in_flight_flowmod_add);
             reg.add("chaos.in_flight.packets", c.in_flight_packets);
+        }
+        if let Some(cluster) = &self.app.cluster {
+            // Cluster ledger: only exported when a cluster is configured, so
+            // single-controller golden runs keep their exact metric surface.
+            let s = cluster.stats();
+            reg.add("ctrl.cluster.replicas", u64::from(cluster.replicas()));
+            reg.add("ctrl.cluster.live", u64::from(cluster.live_replicas()));
+            for (i, &n) in cluster.decisions().iter().enumerate() {
+                reg.add(&format!("ctrl.cluster.decisions.replica{i}"), n);
+            }
+            reg.add("ctrl.cluster.handoffs", s.handoffs);
+            reg.add("ctrl.cluster.handoff_exceeded", s.handoff_exceeded);
+            reg.add("ctrl.cluster.pending_enq", s.pending_enq);
+            reg.add("ctrl.cluster.pending_rel", s.pending_rel);
+            reg.add("ctrl.cluster.pending", cluster.pending_now());
+            reg.add("ctrl.cluster.crashes", s.crashes);
+            reg.add("ctrl.cluster.recoveries", s.recoveries);
+            reg.add("ctrl.cluster.partitions", s.partitions);
+            let id = reg.histogram("ctrl.cluster.handoff_ns");
+            *reg.histogram_mut(id) = cluster.handoff_histogram().clone();
         }
         let metrics = reg.snapshot();
 

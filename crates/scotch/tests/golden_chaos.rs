@@ -13,11 +13,15 @@ const PINNED_PLAN: &str = include_str!("golden/chaos_pinned.plan");
 const SEED: u64 = 42;
 
 fn golden_scenario() -> Scenario {
-    // Mirrors `scotch-cli chaos --duration 10 --seed 42 --plan …` on the
-    // default datacenter scenario.
+    // Mirrors `scotch-cli chaos --duration 10 --seed 42 --controllers 3
+    // --sync-latency-us 500 --plan …` on the default datacenter scenario.
+    // The cluster is what gives the replica_crash / ctrl_partition entries
+    // of the pinned plan a live target.
     Scenario::overlay_datacenter(4)
         .with_servers(2)
         .with_clients(100.0)
+        .with_controllers(3)
+        .with_sync_latency(SimDuration::from_micros(500))
 }
 
 fn run_pinned() -> Report {
@@ -58,6 +62,37 @@ fn pinned_chaos_plan_exercises_every_fault_kind() {
     assert_eq!(report.metrics.get("chaos.skipped"), Some(0.0));
 }
 
+/// The pinned plan's replica crashes actually migrate mastership: the run
+/// records handoffs, conserves pending Packet-Ins across them (the metric
+/// form of I5), and every handoff lands within the sync-delay bound (I6).
+#[test]
+fn pinned_chaos_plan_exercises_the_cluster() {
+    let report = run_pinned();
+    assert_eq!(report.metrics.get("ctrl.cluster.replicas"), Some(3.0));
+    assert!(
+        report.metrics.get("ctrl.cluster.handoffs").unwrap_or(0.0) >= 1.0,
+        "replica crashes must trigger mastership handoffs"
+    );
+    assert_eq!(
+        report.metrics.get("ctrl.cluster.handoff_exceeded"),
+        Some(0.0),
+        "I6: every handoff must finish within the sync-delay bound"
+    );
+    let enq = report
+        .metrics
+        .get("ctrl.cluster.pending_enq")
+        .unwrap_or(0.0);
+    let rel = report
+        .metrics
+        .get("ctrl.cluster.pending_rel")
+        .unwrap_or(0.0);
+    let held = report.metrics.get("ctrl.cluster.pending").unwrap_or(0.0);
+    assert_eq!(enq, rel + held, "I5: parked Packet-Ins must be conserved");
+    assert_eq!(report.metrics.get("ctrl.cluster.crashes"), Some(2.0));
+    assert_eq!(report.metrics.get("ctrl.cluster.recoveries"), Some(1.0));
+    assert_eq!(report.metrics.get("ctrl.cluster.partitions"), Some(1.0));
+}
+
 #[test]
 fn pinned_chaos_plan_passes_all_invariants() {
     let plan = FaultPlan::parse(PINNED_PLAN).expect("pinned plan parses");
@@ -96,6 +131,37 @@ fn zero_failover_bound_is_reported() {
     // The report carries enough trace context to debug from the artifact
     // alone.
     assert!(violations.iter().all(|v| !v.trace_window.is_empty()));
+}
+
+/// Regression for the per-flow setup-latency invariant (I7): an impossible
+/// bound must be caught, with trace-window context, while the default
+/// (unchecked) config stays clean on the same run.
+#[test]
+fn impossible_setup_bound_is_reported() {
+    let plan = FaultPlan::parse(PINNED_PLAN).expect("pinned plan parses");
+    let report = run_pinned();
+    let cfg = ChaosConfig {
+        setup_latency_bound: Some(SimDuration::from_nanos(1)),
+        ..ChaosConfig::for_scotch(&ScotchConfig::default())
+    };
+    let violations = chaos::check(&report, &plan, &cfg);
+    assert!(
+        violations.iter().any(|v| v.invariant == "I7-setup-latency"),
+        "expected I7 violations under a 1ns setup bound, got:\n{}",
+        chaos::render_violations(&violations)
+    );
+    assert!(violations
+        .iter()
+        .filter(|v| v.invariant == "I7-setup-latency")
+        .all(|v| !v.trace_window.is_empty()));
+    // A generous bound on the same report is clean.
+    let cfg = ChaosConfig {
+        setup_latency_bound: Some(SimDuration::from_secs(60)),
+        ..ChaosConfig::for_scotch(&ScotchConfig::default())
+    };
+    assert!(chaos::check(&report, &plan, &cfg)
+        .iter()
+        .all(|v| v.invariant != "I7-setup-latency"));
 }
 
 /// Satellite: crash more vSwitches than there are standbys. The mesh must

@@ -17,7 +17,7 @@
 use crate::time::{SimDuration, SimTime};
 
 /// Number of distinct fault kinds.
-pub const FAULT_KIND_COUNT: usize = 9;
+pub const FAULT_KIND_COUNT: usize = 11;
 
 /// Canonical names for each fault kind, indexed by [`FaultKind::index`].
 pub const FAULT_KIND_NAMES: [&str; FAULT_KIND_COUNT] = [
@@ -30,6 +30,8 @@ pub const FAULT_KIND_NAMES: [&str; FAULT_KIND_COUNT] = [
     "ctrl_reorder",
     "ofa_slowdown",
     "controller_stall",
+    "replica_crash",
+    "ctrl_partition",
 ];
 
 /// A typed fault to inject at some instant.
@@ -116,6 +118,22 @@ pub enum FaultKind {
         /// Stall window length.
         duration: SimDuration,
     },
+    /// Crash one controller replica (index modulo live replicas), migrating
+    /// every switch it masters to the first live standby. Only meaningful
+    /// when a controller cluster is configured; skipped otherwise.
+    ReplicaCrash {
+        /// Abstract target index (resolved modulo live replicas).
+        target: u32,
+        /// Delay until the replica rejoins as a standby; `None` = stays dead.
+        restart_after: Option<SimDuration>,
+    },
+    /// Partition the inter-controller coordination channel for `duration`:
+    /// mastership handoffs initiated while partitioned cannot complete until
+    /// the partition heals. Only meaningful with a controller cluster.
+    CtrlPartition {
+        /// Partition window length.
+        duration: SimDuration,
+    },
 }
 
 impl FaultKind {
@@ -131,6 +149,8 @@ impl FaultKind {
             FaultKind::CtrlReorder { .. } => 6,
             FaultKind::OfaSlowdown { .. } => 7,
             FaultKind::ControllerStall { .. } => 8,
+            FaultKind::ReplicaCrash { .. } => 9,
+            FaultKind::CtrlPartition { .. } => 10,
         }
     }
 
@@ -279,6 +299,21 @@ impl FaultPlan {
                         duration.as_nanos()
                     ));
                 }
+                FaultKind::ReplicaCrash {
+                    target,
+                    restart_after,
+                } => {
+                    out.push_str(&format!("{at} replica_crash target={target}"));
+                    if let Some(d) = restart_after {
+                        out.push_str(&format!(" restart_after_ns={}", d.as_nanos()));
+                    }
+                }
+                FaultKind::CtrlPartition { duration } => {
+                    out.push_str(&format!(
+                        "{at} ctrl_partition duration_ns={}",
+                        duration.as_nanos()
+                    ));
+                }
             }
             out.push('\n');
         }
@@ -348,6 +383,15 @@ impl FaultPlan {
                     duration: fields.req_dur("duration_ns")?,
                 },
                 "controller_stall" => FaultKind::ControllerStall {
+                    duration: fields.req_dur("duration_ns")?,
+                },
+                "replica_crash" => FaultKind::ReplicaCrash {
+                    target: fields.req_u32("target")?,
+                    restart_after: fields
+                        .opt_u64("restart_after_ns")?
+                        .map(SimDuration::from_nanos),
+                },
+                "ctrl_partition" => FaultKind::CtrlPartition {
                     duration: fields.req_dur("duration_ns")?,
                 },
                 other => return Err(err(lineno, &format!("unknown fault kind `{other}`"))),
@@ -482,6 +526,19 @@ mod tests {
                 duration: SimDuration::from_millis(750),
             },
         );
+        p.push(
+            SimTime::from_secs(6),
+            FaultKind::ReplicaCrash {
+                target: 1,
+                restart_after: Some(SimDuration::from_secs(2)),
+            },
+        );
+        p.push(
+            SimTime::from_secs(7),
+            FaultKind::CtrlPartition {
+                duration: SimDuration::from_millis(400),
+            },
+        );
         p.sort();
         p
     }
@@ -557,6 +614,22 @@ mod tests {
         assert_eq!(counts[4], 1); // ctrl_loss
         assert_eq!(counts[7], 1); // ofa_slowdown
         assert_eq!(counts[8], 1); // controller_stall
+        assert_eq!(counts[9], 1); // replica_crash
+        assert_eq!(counts[10], 1); // ctrl_partition
+    }
+
+    #[test]
+    fn replica_crash_without_restart_roundtrips() {
+        let mut p = FaultPlan::new();
+        p.push(
+            SimTime::from_secs(1),
+            FaultKind::ReplicaCrash {
+                target: 0,
+                restart_after: None,
+            },
+        );
+        let parsed = FaultPlan::parse(&p.render()).unwrap();
+        assert_eq!(parsed, p);
     }
 
     #[test]

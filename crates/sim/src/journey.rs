@@ -82,10 +82,15 @@ pub enum JourneyPoint {
     /// the first packet was still in flight (or silently absorbed by a
     /// fault) when the horizon hit. Terminal.
     Cancel = 10,
+    /// A mastership handoff released this journey's pending Packet-In to a
+    /// new master replica (`info` = `old_replica << 32 | new_replica`,
+    /// with `u32::MAX` in the high half when the old master is unknown).
+    /// Annotation only — never segments the timeline.
+    Handoff = 11,
 }
 
 /// All points, in lifecycle (discriminant) order.
-pub const JOURNEY_POINTS: [JourneyPoint; 11] = [
+pub const JOURNEY_POINTS: [JourneyPoint; 12] = [
     JourneyPoint::Emit,
     JourneyPoint::Arrive,
     JourneyPoint::OfaOut,
@@ -97,6 +102,7 @@ pub const JOURNEY_POINTS: [JourneyPoint; 11] = [
     JourneyPoint::Drop,
     JourneyPoint::Deliver,
     JourneyPoint::Cancel,
+    JourneyPoint::Handoff,
 ];
 
 impl JourneyPoint {
@@ -114,6 +120,7 @@ impl JourneyPoint {
             JourneyPoint::Drop => "drop",
             JourneyPoint::Deliver => "deliver",
             JourneyPoint::Cancel => "cancel",
+            JourneyPoint::Handoff => "handoff",
         }
     }
 
@@ -127,7 +134,10 @@ impl JourneyPoint {
 
     /// True for zero-width annotations that never segment the timeline.
     pub fn is_annotation(self) -> bool {
-        matches!(self, JourneyPoint::Fault | JourneyPoint::Migration)
+        matches!(
+            self,
+            JourneyPoint::Fault | JourneyPoint::Migration | JourneyPoint::Handoff
+        )
     }
 }
 

@@ -56,10 +56,13 @@ pub enum TraceCategory {
     /// Sharded-execution epochs and inter-shard handoffs (recorded by the
     /// lockstep driver on the hub lane; sequential runs never emit these).
     Shard,
+    /// Controller-cluster mastership: replica crashes, recoveries,
+    /// coordination-channel partitions, and per-switch mastership handoffs.
+    Cluster,
 }
 
 /// Number of trace categories (size of the per-category level table).
-pub const TRACE_CATEGORIES: usize = 9;
+pub const TRACE_CATEGORIES: usize = 10;
 
 impl TraceCategory {
     /// All categories, in a fixed order matching [`TraceCategory::index`].
@@ -73,6 +76,7 @@ impl TraceCategory {
         TraceCategory::Health,
         TraceCategory::Fault,
         TraceCategory::Shard,
+        TraceCategory::Cluster,
     ];
 
     /// Dense index into the per-category level table.
@@ -93,6 +97,7 @@ impl TraceCategory {
             TraceCategory::Health => "health",
             TraceCategory::Fault => "fault",
             TraceCategory::Shard => "shard",
+            TraceCategory::Cluster => "cluster",
         }
     }
 
@@ -270,6 +275,39 @@ pub enum TraceEvent {
         /// Events handed off.
         events: u32,
     },
+    /// A controller replica crashed; its switches enter mastership
+    /// migration toward their standbys.
+    ReplicaCrashed {
+        /// The crashed replica index.
+        replica: u32,
+        /// Switches whose mastership must migrate off the replica.
+        switches: u32,
+    },
+    /// A crashed controller replica rejoined the cluster as a standby.
+    ReplicaRecovered {
+        /// The recovering replica index.
+        replica: u32,
+    },
+    /// The inter-controller coordination channel was partitioned; handoffs
+    /// initiated during the window cannot complete until it heals.
+    ClusterPartitioned {
+        /// Partition window length in sim-time ns.
+        duration_ns: u64,
+    },
+    /// The inter-controller coordination channel healed.
+    ClusterHealed {},
+    /// One switch's mastership handoff completed: the new master took over
+    /// and the switch's pending Packet-Ins were released to it.
+    MastershipHandoff {
+        /// The switch whose mastership moved.
+        switch: u32,
+        /// Previous master replica (`u32::MAX` when unknown/orphaned).
+        from: u32,
+        /// New master replica.
+        to: u32,
+        /// Pending control messages released to the new master.
+        released: u32,
+    },
 }
 
 impl TraceEvent {
@@ -295,6 +333,11 @@ impl TraceEvent {
             TraceEvent::EpochOpened { .. }
             | TraceEvent::EpochClosed { .. }
             | TraceEvent::ShardHandoff { .. } => TraceCategory::Shard,
+            TraceEvent::ReplicaCrashed { .. }
+            | TraceEvent::ReplicaRecovered { .. }
+            | TraceEvent::ClusterPartitioned { .. }
+            | TraceEvent::ClusterHealed {}
+            | TraceEvent::MastershipHandoff { .. } => TraceCategory::Cluster,
         }
     }
 
@@ -335,6 +378,11 @@ impl TraceEvent {
             TraceEvent::EpochOpened { .. } => "epoch_opened",
             TraceEvent::EpochClosed { .. } => "epoch_closed",
             TraceEvent::ShardHandoff { .. } => "shard_handoff",
+            TraceEvent::ReplicaCrashed { .. } => "replica_crashed",
+            TraceEvent::ReplicaRecovered { .. } => "replica_recovered",
+            TraceEvent::ClusterPartitioned { .. } => "cluster_partitioned",
+            TraceEvent::ClusterHealed {} => "cluster_healed",
+            TraceEvent::MastershipHandoff { .. } => "mastership_handoff",
         }
     }
 
@@ -424,6 +472,25 @@ impl TraceEvent {
                 ("src", src as u64),
                 ("dst", dst as u64),
                 ("events", events as u64),
+            ],
+            TraceEvent::ReplicaCrashed { replica, switches } => {
+                vec![("replica", replica as u64), ("switches", switches as u64)]
+            }
+            TraceEvent::ReplicaRecovered { replica } => vec![("replica", replica as u64)],
+            TraceEvent::ClusterPartitioned { duration_ns } => {
+                vec![("duration_ns", duration_ns)]
+            }
+            TraceEvent::ClusterHealed {} => vec![],
+            TraceEvent::MastershipHandoff {
+                switch,
+                from,
+                to,
+                released,
+            } => vec![
+                ("switch", switch as u64),
+                ("from", from as u64),
+                ("to", to as u64),
+                ("released", released as u64),
             ],
         }
     }
